@@ -1,0 +1,233 @@
+// Macro-benchmarks: one per table and figure of the paper's evaluation.
+// Each benchmark executes the corresponding experiment generator at a
+// reduced scale and reports the headline quantities as custom metrics;
+// `go run ./cmd/ffsbench` prints the full row/series output, and
+// EXPERIMENTS.md records paper-vs-measured for each.
+package ffsva_test
+
+import (
+	"testing"
+
+	"ffsva/internal/experiments"
+	"ffsva/internal/pipeline"
+)
+
+// benchScale keeps each iteration in single-digit seconds while
+// preserving every experiment's shape.
+func benchScale() experiments.Scale {
+	return experiments.Scale{
+		Name:          "bench",
+		OnlineFrames:  180,
+		OfflineFrames: 400,
+		Table2Frames:  1500,
+		MaxStreamsCap: 36,
+		Fig3Streams:   []int{1, 8},
+		Fig4Streams:   []int{1, 4},
+		Fig6TORs:      []float64{0.103, 1.0},
+		BatchSizes:    []int{1, 30},
+	}
+}
+
+func BenchmarkTable1Workloads(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[1].RealizedTOR, "jackson-TOR")
+		b.ReportMetric(res.Rows[0].RealizedTOR, "coral-TOR")
+	}
+}
+
+func BenchmarkFig3LowTOR(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig3(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.OfflineFFS, "offline-fps")
+		b.ReportMetric(res.OfflineSpeedup, "offline-speedup-x")
+		b.ReportMetric(float64(res.MaxStreamsDynamic), "max-streams")
+		b.ReportMetric(float64(res.MaxStreamsBaseline), "baseline-streams")
+	}
+}
+
+func BenchmarkFig4ExtremeTOR(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig4(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.OfflineFFS, "offline-fps")
+		b.ReportMetric(float64(res.MaxStreamsDynamic), "max-streams")
+	}
+}
+
+func BenchmarkFig5FilterRatios(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Cases[0].Ratios[4], "car-ref-ratio")
+		b.ReportMetric(res.Cases[1].Ratios[4], "person-ref-ratio")
+	}
+}
+
+func BenchmarkFig6aScalabilityVsTOR(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6a(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+		b.ReportMetric(float64(first.MaxStreams), "streams-at-low-TOR")
+		b.ReportMetric(float64(last.MaxStreams), "streams-at-TOR1")
+	}
+}
+
+func BenchmarkFig6bLoadBalance(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6b(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo := 1.0
+		for _, v := range res.Normalized {
+			if v < lo {
+				lo = v
+			}
+		}
+		b.ReportMetric(lo, "min-normalized-exec")
+	}
+}
+
+func BenchmarkFig7FilterDegree(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		car := res.Cases[0].Rows
+		b.ReportMetric(float64(car[0].OutputFrames), "car-out-fd0")
+		b.ReportMetric(float64(car[len(car)-1].OutputFrames), "car-out-fd1")
+	}
+}
+
+func BenchmarkFig8NumberOfObjects(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		car := res.Cases[0].Rows
+		b.ReportMetric(float64(car[0].OutputFrames), "car-out-n1")
+		b.ReportMetric(float64(car[len(car)-1].OutputFrames), "car-out-n3")
+	}
+}
+
+func BenchmarkTable2ErrorTaxonomy(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Acc.Runs30Plus), "frames-in-30plus-runs")
+		b.ReportMetric(100*res.Acc.SceneLossRate(), "scene-loss-pct")
+	}
+}
+
+func BenchmarkFig9BatchLowTOR(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportBatch(b, res)
+	}
+}
+
+func BenchmarkFig10BatchHighTOR(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportBatch(b, res)
+	}
+}
+
+func reportBatch(b *testing.B, res *experiments.BatchResult) {
+	b.Helper()
+	for _, row := range res.Rows {
+		if row.Policy == pipeline.BatchStatic && row.BatchSize == 30 {
+			b.ReportMetric(row.ThroughputOffline, "static30-fps")
+		}
+		if row.Policy == pipeline.BatchDynamic && row.BatchSize == 30 {
+			b.ReportMetric(float64(row.LatencyOnline.Milliseconds()), "dynamic30-lat-ms")
+		}
+		if row.Policy == pipeline.BatchFeedback && row.BatchSize == 30 {
+			b.ReportMetric(float64(row.LatencyOnline.Milliseconds()), "feedback30-lat-ms")
+		}
+	}
+}
+
+func BenchmarkAblationCascade(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationCascade(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].Throughput, "full-cascade-fps")
+		b.ReportMetric(res.Rows[len(res.Rows)-1].Throughput, "t-yolo-only-fps")
+	}
+}
+
+func BenchmarkAblationPerStreamTYolo(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationPerStreamTYolo(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Rows[0].LatencyMean.Milliseconds()), "shared-lat-ms")
+		b.ReportMetric(float64(res.Rows[1].LatencyMean.Milliseconds()), "private-lat-ms")
+	}
+}
+
+func BenchmarkAblationFeedback(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationFeedback(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Rows[0].LatencyMean.Milliseconds()), "bounded-lat-ms")
+		b.ReportMetric(float64(res.Rows[1].LatencyMean.Milliseconds()), "deep-lat-ms")
+	}
+}
+
+func BenchmarkHeadline(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		h, err := experiments.RunHeadline(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(h.OfflineFFS/h.OfflineBaseline, "offline-speedup-x")
+		b.ReportMetric(float64(h.MaxStreams), "max-streams")
+		b.ReportMetric(100*h.SceneLoss, "scene-loss-pct")
+	}
+}

@@ -1,0 +1,123 @@
+// Command ffstrain runs the paper's per-stream training procedure (§4.1)
+// for one synthetic camera and reports the fitted artifacts: the SDD
+// reference/threshold, the SNM's held-out accuracy and clow/chigh
+// thresholds, and end-to-end filter behaviour on a fresh validation
+// slice. With -save it writes the SNM weights to disk.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ffsva/internal/detect"
+	"ffsva/internal/filters"
+	"ffsva/internal/frame"
+	"ffsva/internal/lab"
+	"ffsva/internal/train"
+	"ffsva/internal/vidgen"
+)
+
+func main() {
+	workload := flag.String("workload", "car", "car or person")
+	tor := flag.Float64("tor", 0.3, "training slice target-object ratio")
+	frames := flag.Int("frames", 1500, "training frames")
+	seed := flag.Int64("seed", 101, "camera seed")
+	save := flag.String("save", "", "write trained SNM weights to this file")
+	saveCam := flag.String("save-camera", "", "write the full trained camera (SDD + SNM + thresholds) to this file")
+	flag.Parse()
+
+	target := frame.ClassCar
+	if *workload == "person" {
+		target = frame.ClassPerson
+	}
+	cfg := vidgen.Small(*seed, target, *tor)
+
+	fmt.Printf("generating %d labeled frames (%s, TOR %.2f)...\n", *frames, target, *tor)
+	src := vidgen.New(cfg)
+	fs := vidgen.Generate(src, *frames)
+	oracle := detect.NewOracle(detect.DefaultOracleConfig())
+	labeled := train.Label(fs, oracle, target)
+	pos := 0
+	for _, l := range labeled {
+		if l.HasTarget {
+			pos++
+		}
+	}
+	fmt.Printf("labels: %d positive / %d negative\n", pos, len(labeled)-pos)
+
+	sdd, err := train.FitSDD(labeled)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ffstrain: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("SDD: delta(MSE) = %.2f over a %dx%d reference image\n", sdd.Delta, sdd.Ref.W, sdd.Ref.H)
+
+	fmt.Println("training SNM (CONV, CONV, FC)...")
+	snm, err := train.TrainSNM(labeled, train.DefaultSNMConfig())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ffstrain: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("SNM: %v\n", snm.Net)
+	fmt.Printf("SNM: held-out accuracy %.1f%%, clow=%.3f chigh=%.3f\n",
+		100*snm.TestAccuracy, snm.CLow, snm.CHigh)
+
+	// Validate on a fresh slice of the same camera.
+	valCfg := cfg
+	valCfg.Seed = cfg.Seed + 977
+	valCfg.BGSeed = cfg.Seed
+	val := vidgen.New(valCfg)
+	sddF := filters.NewSDD(sdd.Ref, sdd.Delta, filters.MetricMSE)
+	snmF := filters.NewSNM(snm.Net, snm.CLow, snm.CHigh, 0.5)
+	kept, bgDropped, bg, tg := 0, 0, 0, 0
+	for i := 0; i < 1000; i++ {
+		f := val.Next()
+		isTarget := f.Truth.TargetCount(target) > 0
+		v := sddF.Process(f)
+		if v == filters.Pass {
+			v = snmF.Process(f)
+		}
+		if isTarget {
+			tg++
+			if v == filters.Pass {
+				kept++
+			}
+		} else if len(f.Truth.Boxes) == 0 {
+			bg++
+			if v == filters.Drop {
+				bgDropped++
+			}
+		}
+	}
+	fmt.Printf("validation (fresh slice): kept %d/%d target frames, dropped %d/%d background frames\n",
+		kept, tg, bgDropped, bg)
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ffstrain: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := snm.Net.SaveWeights(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ffstrain: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("SNM weights written to %s\n", *save)
+	}
+	if *saveCam != "" {
+		cam := &lab.Camera{Template: cfg, SDD: sdd, SNM: snm}
+		f, err := os.Create(*saveCam)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ffstrain: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := cam.Save(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ffstrain: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("camera written to %s (reload with lab.LoadCamera)\n", *saveCam)
+	}
+}

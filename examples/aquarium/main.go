@@ -1,0 +1,55 @@
+// Aquarium: the paper's hard case — a Coral-style camera where people
+// are visible in most frames (TOR near 1), often in crowds. Filtering
+// wins little here, so the interesting knob is the batch mechanism:
+// this example runs the same workload under the feedback-queue and the
+// dynamic batch mechanisms and compares throughput and latency, the
+// trade-off of paper §5.4.
+//
+//	go run ./examples/aquarium
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ffsva"
+)
+
+func runOnce(policy ffsva.BatchPolicy) (*ffsva.Result, error) {
+	cfg := ffsva.DefaultConfig()
+	cfg.Workload = ffsva.WorkloadPerson
+	cfg.TOR = 0.9
+	cfg.Streams = 4
+	cfg.FramesPerStream = 600 // 20 seconds per camera
+	cfg.Mode = ffsva.Online
+	cfg.BatchPolicy = policy
+	cfg.BatchSize = 30
+	cfg.NumberOfObjects = 4 // alert on groups, not individuals
+	cfg.Tolerance = 2       // tolerate T-YOLO undercounting dense crowds
+	return ffsva.Run(cfg)
+}
+
+func main() {
+	fb, err := runOnce(ffsva.BatchFeedback)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dyn, err := runOnce(ffsva.BatchDynamic)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("4 aquarium cameras online, batch size 30, alert on >=4 people:")
+	fmt.Printf("  feedback batch: %.0f FPS, latency mean %v / p99 %v\n",
+		fb.Pipeline.Throughput, fb.Pipeline.LatencyMean.Round(1e6), fb.Pipeline.LatencyP99.Round(1e6))
+	fmt.Printf("  dynamic batch:  %.0f FPS, latency mean %v / p99 %v\n",
+		dyn.Pipeline.Throughput, dyn.Pipeline.LatencyMean.Round(1e6), dyn.Pipeline.LatencyP99.Round(1e6))
+	if dyn.Pipeline.LatencyMean < fb.Pipeline.LatencyMean {
+		ratio := float64(fb.Pipeline.LatencyMean) / float64(dyn.Pipeline.LatencyMean)
+		fmt.Printf("  -> dynamic batching cut mean latency %.1fx (paper: ~2x)\n", ratio)
+	}
+
+	fmt.Printf("\ncrowd counting accuracy (dynamic run): %v\n", dyn.Accuracy)
+	fmt.Println("note: dense crowds are systematically undercounted by the small shared")
+	fmt.Println("detector (paper Fig. 8b); Tolerance=2 recovers most of those events.")
+}

@@ -1,0 +1,70 @@
+// Cluster: FFS-VA beyond one server (paper §4.3). Two instances receive
+// a growing set of live streams; the manager admits each new stream to
+// the instance with spare capacity and re-forwards streams away from an
+// instance that overloads, using the paper's signals (shared T-YOLO
+// rate, queue depths, ingest lag).
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ffsva/internal/cluster"
+	"ffsva/internal/detect"
+	"ffsva/internal/device"
+	"ffsva/internal/lab"
+	"ffsva/internal/pipeline"
+	"ffsva/internal/vclock"
+)
+
+func main() {
+	cam, err := lab.CarCamera(0.5) // busy streams to stress the instances
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	clk := vclock.NewVirtual()
+	cfg := cluster.DefaultConfig(clk, 2)
+	cfg.Horizon = 55 * time.Second
+	cfg.OverloadChecks = 2
+	// A slower reference model makes two co-located busy streams
+	// overload one instance, forcing the manager to act.
+	costs := device.Calibrated()
+	ref := costs[device.ModelRef]
+	ref.PerFrame = 55 * time.Millisecond
+	costs[device.ModelRef] = ref
+	cfg.Pipeline.Costs = costs
+
+	var arrivals []cluster.Arrival
+	for i := 0; i < 5; i++ {
+		i := i
+		arrivals = append(arrivals, cluster.Arrival{
+			At: time.Duration(i) * 2 * time.Second,
+			ID: 200 + i,
+			Make: func(tg *detect.TinyGrid) pipeline.StreamSpec {
+				return cam.Stream(200+i, tg, lab.StreamOptions{
+					Seed: int64(5000 + i), Frames: 900, // 30 s per stream
+				})
+			},
+		})
+	}
+
+	fmt.Println("running 5 stream arrivals against a 2-instance cluster...")
+	rep := cluster.New(cfg, arrivals).Run()
+
+	fmt.Printf("\nmanager events (%d admissions, %d re-forwards):\n",
+		rep.Admissions(), rep.Reforwards())
+	for _, e := range rep.Events {
+		fmt.Printf("  %v\n", e)
+	}
+	fmt.Println("\nper-stream frames processed across instance fragments:")
+	for id, n := range rep.StreamFrames {
+		fmt.Printf("  stream %d: %d/900 frames\n", id, n)
+	}
+	for i, ir := range rep.Instances {
+		fmt.Printf("instance %d: %d frames, gpu1 %.0f%%\n", i, ir.TotalFrames, 100*ir.GPU1Util)
+	}
+}

@@ -1,0 +1,102 @@
+// Package ffsva is a pure-Go reproduction of FFS-VA, the Fast Filtering
+// System for Large-scale Video Analytics (Zhang et al., ICPP 2018).
+//
+// FFS-VA puts a cascade of three cheap filters in front of an expensive
+// full-feature object-detection model so that large-scale surveillance
+// video can be analyzed in real time on modest hardware:
+//
+//  1. SDD — a per-stream difference detector that drops background frames,
+//  2. SNM — a per-stream 3-layer CNN that drops non-target-object frames,
+//  3. T-YOLO — a small shared detection model that drops frames with
+//     fewer than a user-chosen number of target objects,
+//
+// with the survivors analyzed by the reference model (YOLOv2 in the
+// paper). The pipeline is held together by bounded feedback queues, a
+// dynamic batching mechanism, and CPU/GPU task placement; see DESIGN.md
+// for the system inventory and EXPERIMENTS.md for the reproduction of
+// every table and figure in the paper's evaluation.
+//
+// This package is the public facade. A minimal use:
+//
+//	cfg := ffsva.DefaultConfig()
+//	cfg.Streams = 4
+//	cfg.Mode = ffsva.Online
+//	res, err := ffsva.Run(cfg)
+//	if err != nil { ... }
+//	fmt.Println(res.Pipeline)  // throughput, latency, per-stage counts
+//	fmt.Println(res.Accuracy)  // error rate, scene loss, Table-2 taxonomy
+//
+// Lower-level building blocks (the pipeline engine, the filters, the
+// synthetic workload generator, the discrete-event clock) live under
+// internal/ and are exercised through this API, the example programs in
+// examples/, and the benchmark harness in cmd/ffsbench.
+package ffsva
+
+import (
+	"ffsva/internal/core"
+	"ffsva/internal/pipeline"
+)
+
+// Re-exported configuration and result types.
+type (
+	// Config describes a complete FFS-VA run.
+	Config = core.Config
+	// Result bundles performance and accuracy outcomes.
+	Result = core.Result
+	// Accuracy is the paper's accuracy accounting.
+	Accuracy = core.Accuracy
+	// Report is the pipeline performance report.
+	Report = pipeline.Report
+	// StreamReport is per-stream accounting inside a Report.
+	StreamReport = pipeline.StreamReport
+	// Record is one frame's outcome.
+	Record = pipeline.Record
+	// WorkloadKind selects the evaluation workload family.
+	WorkloadKind = core.WorkloadKind
+	// Mode selects offline or online analysis.
+	Mode = pipeline.Mode
+	// BatchPolicy selects the SNM batching mechanism.
+	BatchPolicy = pipeline.BatchPolicy
+	// Disposition records where a frame's journey ended.
+	Disposition = pipeline.Disposition
+)
+
+// Workloads (Table 1).
+const (
+	WorkloadCar    = core.WorkloadCar
+	WorkloadPerson = core.WorkloadPerson
+)
+
+// Modes.
+const (
+	Offline = pipeline.Offline
+	Online  = pipeline.Online
+)
+
+// Batch policies (paper §4.3.2, §5.4).
+const (
+	BatchStatic   = pipeline.BatchStatic
+	BatchFeedback = pipeline.BatchFeedback
+	BatchDynamic  = pipeline.BatchDynamic
+)
+
+// Frame dispositions.
+const (
+	DropSDD   = pipeline.DropSDD
+	DropSNM   = pipeline.DropSNM
+	DropTYolo = pipeline.DropTYolo
+	Detected  = pipeline.Detected
+)
+
+// DefaultConfig returns a ready-to-run configuration (one offline car
+// stream at TOR 0.10 under the deterministic virtual clock).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Run executes a complete FFS-VA run: train (cached) per-camera models,
+// assemble the pipelined system, process every stream, and analyze
+// accuracy against ground truth.
+func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// Analyze computes the paper's accuracy accounting for one stream's
+// records with the given event-intensity threshold.
+func Analyze(records []Record, minObjects int) Accuracy { return core.Analyze(records, minObjects) }

@@ -1,0 +1,85 @@
+package ffsva_test
+
+import (
+	"testing"
+
+	"ffsva"
+)
+
+// TestPublicAPIRoundTrip exercises the facade end to end: configure,
+// run, and read both the performance report and the accuracy accounting.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	cfg := ffsva.DefaultConfig()
+	cfg.Workload = ffsva.WorkloadCar
+	cfg.TOR = 0.2
+	cfg.Streams = 2
+	cfg.FramesPerStream = 400
+	cfg.Mode = ffsva.Online
+	cfg.BatchPolicy = ffsva.BatchDynamic
+	cfg.NumberOfObjects = 1
+
+	res, err := ffsva.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Pipeline
+	if rep.TotalFrames != 800 {
+		t.Fatalf("frames = %d", rep.TotalFrames)
+	}
+	if len(rep.Streams) != 2 {
+		t.Fatalf("streams = %d", len(rep.Streams))
+	}
+	var decided int64
+	for _, sr := range rep.Streams {
+		for _, rec := range sr.Records {
+			if rec.Done {
+				decided++
+			}
+		}
+	}
+	if decided != 800 {
+		t.Fatalf("decided = %d", decided)
+	}
+	if res.Accuracy.Frames != 800 {
+		t.Fatalf("accuracy frames = %d", res.Accuracy.Frames)
+	}
+	// Re-analysis through the facade agrees with the bundled result.
+	var again ffsva.Accuracy
+	for _, sr := range rep.Streams {
+		again.Merge(ffsva.Analyze(sr.Records, cfg.NumberOfObjects))
+	}
+	if again != res.Accuracy {
+		t.Fatalf("Analyze mismatch: %+v vs %+v", again, res.Accuracy)
+	}
+}
+
+// TestPublicAPIDeterminism: identical configs produce identical results
+// under the virtual clock, across workloads.
+func TestPublicAPIDeterminism(t *testing.T) {
+	for _, w := range []ffsva.WorkloadKind{ffsva.WorkloadCar, ffsva.WorkloadPerson} {
+		cfg := ffsva.DefaultConfig()
+		cfg.Workload = w
+		cfg.TOR = 0.3
+		cfg.FramesPerStream = 300
+		a, err := ffsva.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ffsva.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Pipeline.Throughput != b.Pipeline.Throughput || a.Accuracy != b.Accuracy {
+			t.Fatalf("workload %v nondeterministic", w)
+		}
+	}
+}
+
+// TestPublicAPIValidation surfaces config errors.
+func TestPublicAPIValidation(t *testing.T) {
+	cfg := ffsva.DefaultConfig()
+	cfg.Streams = -1
+	if _, err := ffsva.Run(cfg); err == nil {
+		t.Fatal("expected error")
+	}
+}

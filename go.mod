@@ -1,0 +1,3 @@
+module ffsva
+
+go 1.22

@@ -1,0 +1,126 @@
+// Package autotune implements the paper's §4.3.1 offline behaviour:
+// "In the offline case, FFS-VA adaptively adjusts queue depth of each
+// filter to obtain the highest throughput for a stream." It searches the
+// (batch size, SNM queue depth, per-cycle T-YOLO quota) space with
+// memoized coordinate descent; each probe is one short deterministic
+// virtual-clock run supplied by the caller.
+package autotune
+
+import (
+	"fmt"
+)
+
+// Objective measures one configuration's offline throughput in FPS.
+type Objective func(batchSize, depthSNM, numTYolo int) (float64, error)
+
+// Config bounds the search space.
+type Config struct {
+	BatchSizes []int
+	DepthsSNM  []int
+	NumTYolos  []int
+	// MaxSweeps caps full coordinate passes (default 4).
+	MaxSweeps int
+}
+
+// DefaultConfig spans the useful range around the paper's defaults
+// (batch 10, depth 10, quota 8).
+func DefaultConfig() Config {
+	return Config{
+		BatchSizes: []int{1, 5, 10, 20, 30, 64},
+		DepthsSNM:  []int{2, 5, 10, 20, 40},
+		NumTYolos:  []int{2, 4, 8, 16, 32},
+		MaxSweeps:  4,
+	}
+}
+
+// Trial is one evaluated point.
+type Trial struct {
+	BatchSize, DepthSNM, NumTYolo int
+	Throughput                    float64
+}
+
+// Result is the best point found plus the search trace.
+type Result struct {
+	Best        Trial
+	Evaluations int
+	Trace       []Trial
+}
+
+// Tune runs memoized coordinate descent and returns the best
+// configuration found. The search is deterministic for a deterministic
+// objective.
+func Tune(cfg Config, eval Objective) (Result, error) {
+	if len(cfg.BatchSizes) == 0 || len(cfg.DepthsSNM) == 0 || len(cfg.NumTYolos) == 0 {
+		return Result{}, fmt.Errorf("autotune: empty search dimension")
+	}
+	if cfg.MaxSweeps <= 0 {
+		cfg.MaxSweeps = 4
+	}
+
+	memo := map[[3]int]float64{}
+	res := Result{}
+	probe := func(b, d, n int) (float64, error) {
+		key := [3]int{b, d, n}
+		if v, ok := memo[key]; ok {
+			return v, nil
+		}
+		v, err := eval(b, d, n)
+		if err != nil {
+			return 0, err
+		}
+		memo[key] = v
+		res.Evaluations++
+		res.Trace = append(res.Trace, Trial{b, d, n, v})
+		return v, nil
+	}
+
+	// Start from the middle of each dimension.
+	cur := Trial{
+		BatchSize: cfg.BatchSizes[len(cfg.BatchSizes)/2],
+		DepthSNM:  cfg.DepthsSNM[len(cfg.DepthsSNM)/2],
+		NumTYolo:  cfg.NumTYolos[len(cfg.NumTYolos)/2],
+	}
+	var err error
+	if cur.Throughput, err = probe(cur.BatchSize, cur.DepthSNM, cur.NumTYolo); err != nil {
+		return Result{}, err
+	}
+
+	for sweep := 0; sweep < cfg.MaxSweeps; sweep++ {
+		improved := false
+		for dim := 0; dim < 3; dim++ {
+			var candidates []int
+			switch dim {
+			case 0:
+				candidates = cfg.BatchSizes
+			case 1:
+				candidates = cfg.DepthsSNM
+			default:
+				candidates = cfg.NumTYolos
+			}
+			for _, v := range candidates {
+				b, d, n := cur.BatchSize, cur.DepthSNM, cur.NumTYolo
+				switch dim {
+				case 0:
+					b = v
+				case 1:
+					d = v
+				default:
+					n = v
+				}
+				fps, err := probe(b, d, n)
+				if err != nil {
+					return Result{}, err
+				}
+				if fps > cur.Throughput {
+					cur = Trial{b, d, n, fps}
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	res.Best = cur
+	return res, nil
+}

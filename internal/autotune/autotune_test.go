@@ -1,0 +1,99 @@
+package autotune
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// quadratic objective with a known optimum at (30, 20, 16).
+func quadratic(b, d, n int) (float64, error) {
+	f := 1000.0
+	f -= math.Pow(float64(b-30)/10, 2) * 50
+	f -= math.Pow(float64(d-20)/10, 2) * 30
+	f -= math.Pow(float64(n-16)/8, 2) * 20
+	return f, nil
+}
+
+func TestTuneFindsOptimum(t *testing.T) {
+	res, err := Tune(DefaultConfig(), quadratic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.BatchSize != 30 || res.Best.DepthSNM != 20 || res.Best.NumTYolo != 16 {
+		t.Fatalf("best = %+v, want (30, 20, 16)", res.Best)
+	}
+	if res.Evaluations == 0 || len(res.Trace) != res.Evaluations {
+		t.Fatalf("eval accounting: %d vs %d", res.Evaluations, len(res.Trace))
+	}
+}
+
+func TestTuneMemoizes(t *testing.T) {
+	calls := 0
+	obj := func(b, d, n int) (float64, error) {
+		calls++
+		return quadratic(b, d, n)
+	}
+	res, err := Tune(DefaultConfig(), obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != res.Evaluations {
+		t.Fatalf("memoization leaked: %d calls vs %d evaluations", calls, res.Evaluations)
+	}
+	cfg := DefaultConfig()
+	gridSize := len(cfg.BatchSizes) * len(cfg.DepthsSNM) * len(cfg.NumTYolos)
+	if calls >= gridSize {
+		t.Fatalf("coordinate descent evaluated %d >= full grid %d", calls, gridSize)
+	}
+}
+
+func TestTuneDeterministic(t *testing.T) {
+	a, err := Tune(DefaultConfig(), quadratic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Tune(DefaultConfig(), quadratic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best != b.Best || a.Evaluations != b.Evaluations {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestTunePropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Tune(DefaultConfig(), func(b, d, n int) (float64, error) { return 0, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTuneEmptyDimension(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DepthsSNM = nil
+	if _, err := Tune(cfg, quadratic); err == nil {
+		t.Fatal("expected error for empty dimension")
+	}
+}
+
+func TestTuneFlatObjectiveStops(t *testing.T) {
+	calls := 0
+	res, err := Tune(DefaultConfig(), func(b, d, n int) (float64, error) {
+		calls++
+		return 42, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One sweep with no improvement must terminate the search.
+	cfg := DefaultConfig()
+	perSweep := len(cfg.BatchSizes) + len(cfg.DepthsSNM) + len(cfg.NumTYolos)
+	if calls > perSweep+1 {
+		t.Fatalf("flat objective used %d evals, want <= %d", calls, perSweep+1)
+	}
+	if res.Best.Throughput != 42 {
+		t.Fatalf("best = %+v", res.Best)
+	}
+}

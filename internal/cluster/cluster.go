@@ -1,0 +1,340 @@
+// Package cluster scales FFS-VA beyond one instance, implementing the
+// multi-instance behaviour the paper describes in §4.3: new streams are
+// admitted to an instance with spare capacity (shared T-YOLO rate below
+// the spare threshold, paper's 140 FPS / 5 s signal), and when an
+// instance overloads (SNM or T-YOLO queues pinned at their depth
+// thresholds), one of its streams is re-forwarded — stopped at a frame
+// boundary and continued on another instance.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ffsva/internal/detect"
+	"ffsva/internal/imgproc"
+	"ffsva/internal/pipeline"
+	"ffsva/internal/vclock"
+)
+
+// Config assembles a Cluster.
+type Config struct {
+	Clock vclock.Clock
+	// Instances is the number of FFS-VA instances (each gets the full
+	// device complement: one CPU pool + two GPUs, i.e. one server).
+	Instances int
+	// Pipeline is the per-instance configuration template; its Clock is
+	// overwritten with the cluster clock and its Mode forced Online.
+	Pipeline pipeline.Config
+	// SpareTYRate is the shared T-YOLO rate (FPS) below which an
+	// instance is considered to have spare capacity.
+	SpareTYRate float64
+	// CheckEvery is the monitor period.
+	CheckEvery time.Duration
+	// OverloadChecks is how many consecutive overloaded observations
+	// trigger a re-forward.
+	OverloadChecks int
+	// LagThreshold is the ingest lateness above which an instance counts
+	// as overloaded (combined with the queue signal).
+	LagThreshold time.Duration
+	// BacklogThreshold is the capture-buffer depth (frames) above which
+	// an instance counts as overloaded; backlog/FPS is seconds behind.
+	BacklogThreshold int
+	// Horizon is how long the manager and monitor stay alive; it must
+	// cover the last arrival plus the longest stream duration.
+	Horizon time.Duration
+}
+
+// DefaultConfig returns cluster defaults per the paper's signals.
+func DefaultConfig(clk vclock.Clock, instances int) Config {
+	pc := pipeline.DefaultConfig(clk)
+	pc.Mode = pipeline.Online
+	return Config{
+		Clock:            clk,
+		Instances:        instances,
+		Pipeline:         pc,
+		SpareTYRate:      140,
+		CheckEvery:       time.Second,
+		OverloadChecks:   3,
+		LagThreshold:     250 * time.Millisecond,
+		BacklogThreshold: 90, // 3 s at 30 FPS
+		Horizon:          60 * time.Second,
+	}
+}
+
+// Arrival is a stream joining the cluster at a point in time.
+type Arrival struct {
+	At time.Duration
+	ID int
+	// Make mints the stream spec against the chosen instance's shared
+	// T-YOLO detector.
+	Make func(tg *detect.TinyGrid) pipeline.StreamSpec
+}
+
+// EventKind classifies manager actions.
+type EventKind int
+
+// Manager event kinds.
+const (
+	EventAdmit EventKind = iota
+	EventReforward
+)
+
+// Event is one manager action, for the report.
+type Event struct {
+	Kind     EventKind
+	At       time.Duration
+	StreamID int
+	From, To int // instance indices; From is -1 for admissions
+}
+
+// String renders the event.
+func (e Event) String() string {
+	if e.Kind == EventAdmit {
+		return fmt.Sprintf("t=%v admit stream %d -> instance %d", e.At.Round(time.Millisecond), e.StreamID, e.To)
+	}
+	return fmt.Sprintf("t=%v reforward stream %d: instance %d -> %d", e.At.Round(time.Millisecond), e.StreamID, e.From, e.To)
+}
+
+// Cluster is a set of FFS-VA instances under one admission manager.
+type Cluster struct {
+	cfg       Config
+	instances []*pipeline.System
+	tgs       []*detect.TinyGrid
+	arrivals  []Arrival
+
+	// bookkeeping (cooperatively accessed from manager/monitor procs)
+	loc    map[int]int                 // stream id -> instance index
+	specs  map[int]pipeline.StreamSpec // last spec per stream id
+	counts []int                       // active streams per instance
+	over   []int                       // consecutive overload observations
+	events []Event
+}
+
+// New builds a cluster; Run executes it to completion.
+func New(cfg Config, arrivals []Arrival) *Cluster {
+	if cfg.Instances <= 0 {
+		panic("cluster: need at least one instance")
+	}
+	c := &Cluster{
+		cfg:      cfg,
+		arrivals: append([]Arrival(nil), arrivals...),
+		loc:      make(map[int]int),
+		specs:    make(map[int]pipeline.StreamSpec),
+		counts:   make([]int, cfg.Instances),
+		over:     make([]int, cfg.Instances),
+	}
+	sort.SliceStable(c.arrivals, func(i, j int) bool { return c.arrivals[i].At < c.arrivals[j].At })
+	for i := 0; i < cfg.Instances; i++ {
+		pc := cfg.Pipeline
+		pc.Clock = cfg.Clock
+		pc.Mode = pipeline.Online
+		c.instances = append(c.instances, pipeline.New(pc, nil))
+		c.tgs = append(c.tgs, detect.NewTinyGrid(detect.DefaultTinyGridConfig()))
+	}
+	return c
+}
+
+// Run starts every instance, processes arrivals and monitors overload
+// until the horizon, then lets the world drain and reports.
+func (c *Cluster) Run() *Report {
+	clk := c.cfg.Clock
+	for _, inst := range c.instances {
+		inst.Hold()
+		inst.Start()
+	}
+	clk.Go("cluster-manager", c.manage)
+	clk.Run()
+	return c.report()
+}
+
+// pick selects the admission target: spare instances first (by the
+// paper's T-YOLO-rate signal), then fewest active streams.
+func (c *Cluster) pick() int {
+	best, bestScore := 0, int(1<<30)
+	for i, inst := range c.instances {
+		score := c.counts[i] * 10
+		if c.overloaded(i) {
+			score += 1000
+		}
+		if rate := inst.TYoloRate(); rate >= c.cfg.SpareTYRate {
+			score += 100
+		}
+		if score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// overloaded combines three signals: blocked ingest, a deep capture
+// backlog, and queues pinned at their thresholds while backlog builds.
+func (c *Cluster) overloaded(i int) bool {
+	inst := c.instances[i]
+	if inst.WorstLag() > c.cfg.LagThreshold {
+		return true
+	}
+	if inst.WorstBacklog() > c.cfg.BacklogThreshold {
+		return true
+	}
+	return inst.Overloaded() && inst.WorstBacklog() > c.cfg.BacklogThreshold/3
+}
+
+// manage is the combined admission + overload-monitor process.
+func (c *Cluster) manage() {
+	clk := c.cfg.Clock
+	next := 0
+	for clk.Now() < c.cfg.Horizon {
+		// Admit any due arrivals.
+		for next < len(c.arrivals) && c.arrivals[next].At <= clk.Now() {
+			a := c.arrivals[next]
+			idx := c.pick()
+			spec := a.Make(c.tgs[idx])
+			spec.ID = a.ID
+			c.instances[idx].AddStream(spec)
+			c.loc[a.ID] = idx
+			c.specs[a.ID] = spec
+			c.counts[idx]++
+			c.events = append(c.events, Event{Kind: EventAdmit, At: clk.Now(), StreamID: a.ID, From: -1, To: idx})
+			next++
+		}
+		// Overload monitoring and re-forwarding.
+		for i := range c.instances {
+			if !c.overloaded(i) {
+				c.over[i] = 0
+				continue
+			}
+			c.over[i]++
+			if c.over[i] >= c.cfg.OverloadChecks && c.counts[i] > 1 {
+				if target := c.leastLoadedExcept(i); target >= 0 {
+					c.reforward(i, target)
+					c.over[i] = 0
+				}
+			}
+		}
+		// Sleep to the next decision point.
+		wake := clk.Now() + c.cfg.CheckEvery
+		if next < len(c.arrivals) && c.arrivals[next].At < wake {
+			wake = c.arrivals[next].At
+		}
+		if wake > c.cfg.Horizon {
+			break
+		}
+		clk.Sleep(wake - clk.Now())
+	}
+	for _, inst := range c.instances {
+		inst.Release()
+	}
+}
+
+// leastLoadedExcept returns the least-loaded non-overloaded instance
+// other than skip, or -1.
+func (c *Cluster) leastLoadedExcept(skip int) int {
+	best, bestCount := -1, int(1<<30)
+	for i := range c.instances {
+		if i == skip || c.overloaded(i) {
+			continue
+		}
+		if c.counts[i] < bestCount {
+			best, bestCount = i, c.counts[i]
+		}
+	}
+	return best
+}
+
+// reforward migrates the most recently admitted stream of instance from
+// to instance to, continuing at the next frame boundary.
+func (c *Cluster) reforward(from, to int) {
+	// Most recent stream on the overloaded instance.
+	var victim = -1
+	var victimAt time.Duration = -1
+	for _, e := range c.events {
+		if e.Kind == EventAdmit || e.Kind == EventReforward {
+			if e.To == from && e.At >= victimAt && c.loc[e.StreamID] == from {
+				victim, victimAt = e.StreamID, e.At
+			}
+		}
+	}
+	if victim < 0 {
+		return
+	}
+	remaining, src, nextSeq, ok := c.instances[from].StopStream(victim)
+	if !ok || remaining <= 0 {
+		return
+	}
+	old := c.specs[victim]
+	cont := old
+	cont.Source = src
+	cont.Frames = int(remaining)
+	cont.SeqBase = nextSeq
+	cont.StartAt = 0
+	// Rebind the counting filter to the target instance's shared T-YOLO.
+	ty := *old.TYolo
+	ty.Det = c.tgs[to]
+	cont.TYolo = &ty
+	// Seed the target detector's background if the source can provide it.
+	if bg, okBG := src.(interface{ Background() *imgproc.Gray }); okBG {
+		c.tgs[to].SetBackground(victim, bg.Background())
+	}
+	c.instances[to].AddStream(cont)
+	c.loc[victim] = to
+	c.specs[victim] = cont
+	c.counts[from]--
+	c.counts[to]++
+	c.events = append(c.events, Event{Kind: EventReforward, At: c.cfg.Clock.Now(), StreamID: victim, From: from, To: to})
+}
+
+// Report summarizes a cluster run.
+type Report struct {
+	Events    []Event
+	Instances []*pipeline.Report
+	// StreamFrames sums decided frames per original stream id across
+	// instance fragments.
+	StreamFrames map[int]int64
+	// Realtime reports whether every fragment held its schedule.
+	Realtime bool
+}
+
+func (c *Cluster) report() *Report {
+	r := &Report{Events: c.events, StreamFrames: make(map[int]int64), Realtime: true}
+	for _, inst := range c.instances {
+		ir := inst.Report()
+		r.Instances = append(r.Instances, ir)
+		for _, sr := range ir.Streams {
+			done := int64(0)
+			for _, rec := range sr.Records {
+				if rec.Done {
+					done++
+				}
+			}
+			r.StreamFrames[sr.ID] += done
+			if sr.IngestLag > 500*time.Millisecond {
+				r.Realtime = false
+			}
+		}
+	}
+	return r
+}
+
+// Admissions counts admit events, for tests and summaries.
+func (r *Report) Admissions() int {
+	n := 0
+	for _, e := range r.Events {
+		if e.Kind == EventAdmit {
+			n++
+		}
+	}
+	return n
+}
+
+// Reforwards counts re-forward events.
+func (r *Report) Reforwards() int {
+	n := 0
+	for _, e := range r.Events {
+		if e.Kind == EventReforward {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,266 @@
+// Package core is FFS-VA's top-level API: it assembles a complete system
+// from a workload description — training the stream-specialized models,
+// minting per-stream filters around the shared T-YOLO detector, running
+// the pipelined engine — and evaluates accuracy the way the paper does
+// (§3.3, §5.3): frame-level false-negative rate, run-length taxonomy of
+// error frames (Table 2), and scene-level loss (the <2% headline metric).
+package core
+
+import (
+	"fmt"
+
+	"ffsva/internal/detect"
+	"ffsva/internal/frame"
+	"ffsva/internal/lab"
+	"ffsva/internal/pipeline"
+	"ffsva/internal/vclock"
+)
+
+// WorkloadKind selects the evaluation workload family (Table 1).
+type WorkloadKind int
+
+// Workload kinds.
+const (
+	// WorkloadCar mirrors the Jackson video: cars at a crossroad.
+	WorkloadCar WorkloadKind = iota
+	// WorkloadPerson mirrors the Coral video: people (often crowds).
+	WorkloadPerson
+)
+
+// Config describes a complete FFS-VA run.
+type Config struct {
+	Workload WorkloadKind
+	// TOR is the target-object ratio of the generated streams.
+	TOR float64
+	// Streams is the number of concurrent streams.
+	Streams int
+	// FramesPerStream bounds each stream.
+	FramesPerStream int
+
+	Mode        pipeline.Mode
+	BatchPolicy pipeline.BatchPolicy
+	BatchSize   int
+
+	// FilterDegree is the SNM aggressiveness (paper Eq. 2), in [0, 1].
+	FilterDegree float64
+	// NumberOfObjects is the user's event-intensity threshold.
+	NumberOfObjects int
+	// Tolerance relaxes T-YOLO's count threshold (§5.3.3).
+	Tolerance int
+
+	// Virtual selects the deterministic virtual clock (default); false
+	// runs in real time with the same modeled service times.
+	Virtual bool
+	// ChargeCosts disables device-time modeling when false.
+	ChargeCosts bool
+	// Seed namespaces the streams' object dynamics.
+	Seed int64
+}
+
+// DefaultConfig returns a ready-to-run configuration.
+func DefaultConfig() Config {
+	return Config{
+		Workload:        WorkloadCar,
+		TOR:             0.10,
+		Streams:         1,
+		FramesPerStream: 1000,
+		Mode:            pipeline.Offline,
+		BatchPolicy:     pipeline.BatchDynamic,
+		BatchSize:       10,
+		FilterDegree:    0.5,
+		NumberOfObjects: 1,
+		Virtual:         true,
+		ChargeCosts:     true,
+		Seed:            1,
+	}
+}
+
+// Result bundles the run's performance report and accuracy analysis.
+type Result struct {
+	Pipeline *pipeline.Report
+	Accuracy Accuracy
+}
+
+// Run trains (or reuses cached) models for the workload's camera, builds
+// the system, runs it to completion, and analyzes accuracy.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Streams <= 0 || cfg.FramesPerStream <= 0 {
+		return nil, fmt.Errorf("core: need positive Streams and FramesPerStream, have %d/%d",
+			cfg.Streams, cfg.FramesPerStream)
+	}
+	if cfg.TOR < 0 || cfg.TOR > 1 {
+		return nil, fmt.Errorf("core: TOR %v out of [0,1]", cfg.TOR)
+	}
+	var cam *lab.Camera
+	var err error
+	switch cfg.Workload {
+	case WorkloadPerson:
+		cam, err = lab.PersonCamera(cfg.TOR)
+	default:
+		cam, err = lab.CarCamera(cfg.TOR)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	var clk vclock.Clock
+	if cfg.Virtual {
+		clk = vclock.NewVirtual()
+	} else {
+		clk = vclock.NewReal()
+	}
+	pcfg := pipeline.DefaultConfig(clk)
+	pcfg.Mode = cfg.Mode
+	pcfg.BatchPolicy = cfg.BatchPolicy
+	if cfg.BatchSize > 0 {
+		pcfg.BatchSize = cfg.BatchSize
+	}
+	pcfg.ChargeCosts = cfg.ChargeCosts
+
+	tg := detect.NewTinyGrid(detect.DefaultTinyGridConfig())
+	specs := make([]pipeline.StreamSpec, cfg.Streams)
+	for i := 0; i < cfg.Streams; i++ {
+		specs[i] = cam.Stream(i, tg, lab.StreamOptions{
+			Seed:            cfg.Seed*1_000_003 + int64(i)*7919,
+			Frames:          cfg.FramesPerStream,
+			FilterDegree:    cfg.FilterDegree,
+			HasFilterDegree: true,
+			NumberOfObjects: cfg.NumberOfObjects,
+			Tolerance:       cfg.Tolerance,
+		})
+	}
+	rep := pipeline.New(pcfg, specs).Run()
+
+	res := &Result{Pipeline: rep}
+	for _, sr := range rep.Streams {
+		res.Accuracy.Merge(Analyze(sr.Records, cfg.NumberOfObjects))
+	}
+	return res, nil
+}
+
+// Target returns the workload's target class.
+func (w WorkloadKind) Target() frame.Class {
+	if w == WorkloadPerson {
+		return frame.ClassPerson
+	}
+	return frame.ClassCar
+}
+
+// Accuracy is the paper's accuracy accounting over one or more streams.
+type Accuracy struct {
+	// Frames is the number of analyzed frames with ground truth.
+	Frames int64
+	// EventFrames hold the ground-truth event (target count ≥
+	// NumberOfObjects).
+	EventFrames int64
+	// FalseNegatives are event frames the cascade dropped.
+	FalseNegatives int64
+	// FalsePositives are non-event frames that reached the reference
+	// model (wasted full-model work, not an accuracy loss).
+	FalsePositives int64
+
+	// Table 2 taxonomy: false-negative frames by run length.
+	IsolatedSingle int64 // runs of exactly 1
+	Isolated2To3   int64 // runs of 2–3
+	RunsUnder30    int64 // runs of 4–29
+	Runs30Plus     int64 // runs of ≥30
+
+	// Scene-level accounting (§3.3: users care about scenes).
+	Scenes         int64
+	ScenesDetected int64
+}
+
+// Analyze computes accuracy for one stream's records against ground
+// truth, with minObjects as the event-intensity threshold.
+func Analyze(records []pipeline.Record, minObjects int) Accuracy {
+	if minObjects < 1 {
+		minObjects = 1
+	}
+	var a Accuracy
+	sceneSeen := map[int64]bool{}
+	sceneHit := map[int64]bool{}
+	run := int64(0)
+	flushRun := func() {
+		switch {
+		case run == 0:
+		case run == 1:
+			a.IsolatedSingle += run
+		case run <= 3:
+			a.Isolated2To3 += run
+		case run < 30:
+			a.RunsUnder30 += run
+		default:
+			a.Runs30Plus += run
+		}
+		run = 0
+	}
+	for _, rec := range records {
+		if !rec.Done || rec.TruthCount < 0 {
+			continue
+		}
+		a.Frames++
+		isEvent := rec.TruthCount >= minObjects
+		reachedRef := rec.Disposition == pipeline.Detected
+		if isEvent {
+			a.EventFrames++
+			if rec.SceneID != 0 {
+				sceneSeen[rec.SceneID] = true
+				if reachedRef {
+					sceneHit[rec.SceneID] = true
+				}
+			}
+			if !reachedRef {
+				a.FalseNegatives++
+				run++
+				continue
+			}
+		} else if reachedRef {
+			a.FalsePositives++
+		}
+		flushRun()
+	}
+	flushRun()
+	a.Scenes = int64(len(sceneSeen))
+	a.ScenesDetected = int64(len(sceneHit))
+	return a
+}
+
+// Merge accumulates another stream's accuracy into a.
+func (a *Accuracy) Merge(b Accuracy) {
+	a.Frames += b.Frames
+	a.EventFrames += b.EventFrames
+	a.FalseNegatives += b.FalseNegatives
+	a.FalsePositives += b.FalsePositives
+	a.IsolatedSingle += b.IsolatedSingle
+	a.Isolated2To3 += b.Isolated2To3
+	a.RunsUnder30 += b.RunsUnder30
+	a.Runs30Plus += b.Runs30Plus
+	a.Scenes += b.Scenes
+	a.ScenesDetected += b.ScenesDetected
+}
+
+// ErrorRate is false-negative frames over all frames (paper §3.3).
+func (a Accuracy) ErrorRate() float64 {
+	if a.Frames == 0 {
+		return 0
+	}
+	return float64(a.FalseNegatives) / float64(a.Frames)
+}
+
+// SceneLossRate is the fraction of ground-truth scenes with no surviving
+// frame — the metric behind the paper's "<2% accuracy loss".
+func (a Accuracy) SceneLossRate() float64 {
+	if a.Scenes == 0 {
+		return 0
+	}
+	return float64(a.Scenes-a.ScenesDetected) / float64(a.Scenes)
+}
+
+// String renders the accuracy summary.
+func (a Accuracy) String() string {
+	return fmt.Sprintf(
+		"frames=%d events=%d FN=%d (%.2f%%) FP=%d runs[1]=%d runs[2-3]=%d runs[<30]=%d runs[30+]=%d scenes=%d/%d lost=%.2f%%",
+		a.Frames, a.EventFrames, a.FalseNegatives, 100*a.ErrorRate(), a.FalsePositives,
+		a.IsolatedSingle, a.Isolated2To3, a.RunsUnder30, a.Runs30Plus,
+		a.ScenesDetected, a.Scenes, 100*a.SceneLossRate())
+}

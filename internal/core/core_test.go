@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"ffsva/internal/pipeline"
+)
+
+func TestRunOfflineCarWorkload(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FramesPerStream = 800
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pipeline.TotalFrames != 800 {
+		t.Fatalf("frames = %d", res.Pipeline.TotalFrames)
+	}
+	if res.Accuracy.Frames != 800 {
+		t.Fatalf("accuracy frames = %d", res.Accuracy.Frames)
+	}
+	// Headline behaviour at TOR 0.1: far faster than the 134 FPS
+	// baseline, with low scene loss.
+	if res.Pipeline.Throughput < 250 {
+		t.Errorf("offline throughput %.0f FPS, want > 250", res.Pipeline.Throughput)
+	}
+	if res.Accuracy.SceneLossRate() > 0.05 {
+		t.Errorf("scene loss %.3f, want <= 0.05", res.Accuracy.SceneLossRate())
+	}
+	t.Logf("perf: %v", res.Pipeline)
+	t.Logf("accuracy: %v", res.Accuracy)
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Streams = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("expected error for zero streams")
+	}
+	cfg = DefaultConfig()
+	cfg.TOR = 2
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("expected error for TOR > 1")
+	}
+}
+
+func rec(seq int64, truth int, scene int64, disp pipeline.Disposition) pipeline.Record {
+	return pipeline.Record{
+		Done: true, Seq: seq, TruthCount: truth, SceneID: scene,
+		Disposition: disp, Captured: time.Duration(seq) * time.Second,
+		Decided: time.Duration(seq)*time.Second + time.Millisecond,
+	}
+}
+
+func TestAnalyzeRunTaxonomy(t *testing.T) {
+	var records []pipeline.Record
+	seq := int64(0)
+	add := func(n int, truth int, scene int64, disp pipeline.Disposition) {
+		for i := 0; i < n; i++ {
+			records = append(records, rec(seq, truth, scene, disp))
+			seq++
+		}
+	}
+	// Scene 1: 1 missed frame then detected (isolated single).
+	add(1, 1, 1, pipeline.DropSNM)
+	add(5, 1, 1, pipeline.Detected)
+	// Gap.
+	add(10, 0, 0, pipeline.DropSDD)
+	// Scene 2: 3 missed, then detected (2-3 bucket).
+	add(3, 1, 2, pipeline.DropTYolo)
+	add(2, 1, 2, pipeline.Detected)
+	// Scene 3: 10 missed entirely -> scene lost, <30 bucket.
+	add(10, 1, 3, pipeline.DropSNM)
+	// Background gap so the two missed scenes form separate runs.
+	add(4, 0, 0, pipeline.DropSDD)
+	// Scene 4: 35 missed entirely -> scene lost, 30+ bucket.
+	add(35, 2, 4, pipeline.DropTYolo)
+
+	a := Analyze(records, 1)
+	if a.IsolatedSingle != 1 || a.Isolated2To3 != 3 || a.RunsUnder30 != 10 || a.Runs30Plus != 35 {
+		t.Fatalf("taxonomy = [%d %d %d %d], want [1 3 10 35]",
+			a.IsolatedSingle, a.Isolated2To3, a.RunsUnder30, a.Runs30Plus)
+	}
+	if a.FalseNegatives != 49 {
+		t.Fatalf("FN = %d, want 49", a.FalseNegatives)
+	}
+	if a.Scenes != 4 || a.ScenesDetected != 2 {
+		t.Fatalf("scenes = %d/%d, want 2/4", a.ScenesDetected, a.Scenes)
+	}
+	if a.SceneLossRate() != 0.5 {
+		t.Fatalf("scene loss = %v", a.SceneLossRate())
+	}
+}
+
+func TestAnalyzeMinObjectsThreshold(t *testing.T) {
+	records := []pipeline.Record{
+		rec(0, 1, 1, pipeline.DropTYolo), // 1 object: not an event at N=2
+		rec(1, 2, 1, pipeline.DropTYolo), // 2 objects: FN at N=2
+		rec(2, 3, 1, pipeline.Detected),
+	}
+	a := Analyze(records, 2)
+	if a.EventFrames != 2 || a.FalseNegatives != 1 {
+		t.Fatalf("events=%d FN=%d, want 2/1", a.EventFrames, a.FalseNegatives)
+	}
+	// N=1: all three frames are events.
+	a1 := Analyze(records, 1)
+	if a1.EventFrames != 3 || a1.FalseNegatives != 2 {
+		t.Fatalf("N=1: events=%d FN=%d, want 3/2", a1.EventFrames, a1.FalseNegatives)
+	}
+}
+
+func TestAnalyzeFalsePositives(t *testing.T) {
+	records := []pipeline.Record{
+		rec(0, 0, 0, pipeline.Detected), // non-event reached ref
+		rec(1, 0, 0, pipeline.DropSDD),
+	}
+	a := Analyze(records, 1)
+	if a.FalsePositives != 1 {
+		t.Fatalf("FP = %d, want 1", a.FalsePositives)
+	}
+	if a.FalseNegatives != 0 || a.EventFrames != 0 {
+		t.Fatalf("unexpected: %+v", a)
+	}
+}
+
+func TestAnalyzeSkipsUndecided(t *testing.T) {
+	records := []pipeline.Record{
+		{}, // zero value: not Done
+		rec(1, 1, 1, pipeline.Detected),
+	}
+	a := Analyze(records, 1)
+	if a.Frames != 1 {
+		t.Fatalf("frames = %d, want 1", a.Frames)
+	}
+}
+
+func TestMergeAccumulates(t *testing.T) {
+	a := Analyze([]pipeline.Record{rec(0, 1, 1, pipeline.DropSNM)}, 1)
+	b := Analyze([]pipeline.Record{rec(0, 1, 5, pipeline.Detected)}, 1)
+	a.Merge(b)
+	if a.Frames != 2 || a.Scenes != 2 || a.ScenesDetected != 1 || a.FalseNegatives != 1 {
+		t.Fatalf("merged: %+v", a)
+	}
+}
+
+func TestErrorRateEmpty(t *testing.T) {
+	var a Accuracy
+	if a.ErrorRate() != 0 || a.SceneLossRate() != 0 {
+		t.Fatal("empty accuracy must be zero")
+	}
+}
+
+func TestWorkloadTarget(t *testing.T) {
+	if WorkloadCar.Target().String() != "car" || WorkloadPerson.Target().String() != "person" {
+		t.Fatal("workload targets wrong")
+	}
+}

@@ -1,0 +1,31 @@
+package detect
+
+import (
+	"testing"
+
+	"ffsva/internal/frame"
+	"ffsva/internal/vidgen"
+)
+
+func BenchmarkTinyGridDetect(b *testing.B) {
+	cfg := vidgen.Small(1, frame.ClassCar, 0.5)
+	s := vidgen.New(cfg)
+	tg := NewTinyGrid(DefaultTinyGridConfig())
+	tg.SetBackground(cfg.StreamID, s.Background())
+	frames := vidgen.Generate(s, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tg.Detect(frames[i%len(frames)])
+	}
+}
+
+func BenchmarkOracleDetect(b *testing.B) {
+	s := vidgen.New(vidgen.Small(2, frame.ClassCar, 0.5))
+	frames := vidgen.Generate(s, 64)
+	o := NewOracle(DefaultOracleConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Detect(frames[i%len(frames)])
+	}
+}

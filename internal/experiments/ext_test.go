@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+func TestExtensionSpillKeepsRealtime(t *testing.T) {
+	res, err := ExtensionSpill(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked, spilled := res.Rows[0], res.Rows[1]
+	if blocked.Realtime {
+		t.Error("blocked-ingest variant should lose real-time under the burst")
+	}
+	if !spilled.Realtime {
+		t.Error("spill variant must hold real-time ingest")
+	}
+}
+
+func TestExtensionAutotuneBeatsDefaults(t *testing.T) {
+	res, err := ExtensionAutotune(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, tuned := res.Rows[0], res.Rows[1]
+	if tuned.Throughput < def.Throughput {
+		t.Errorf("auto-tuned %.0f FPS below defaults %.0f FPS", tuned.Throughput, def.Throughput)
+	}
+	t.Logf("defaults %.0f FPS -> tuned %.0f FPS", def.Throughput, tuned.Throughput)
+}
+
+func TestExtensionMultiGPUScales(t *testing.T) {
+	res, err := ExtensionMultiGPU(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, two := res.Rows[0].Throughput, res.Rows[1].Throughput
+	if two < one*1.3 {
+		t.Errorf("2 filter GPUs carry %.0f FPS vs %.0f with 1; expected a clear gain", two, one)
+	}
+	t.Logf("1 GPU: %.0f FPS, 2 GPUs: %.0f FPS", one, two)
+}

@@ -1,0 +1,642 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ffsva/internal/core"
+	"ffsva/internal/pipeline"
+	"ffsva/internal/vidgen"
+)
+
+// Table1Result reproduces Table 1: the evaluation workloads.
+type Table1Result struct {
+	Rows []WorkloadInfo
+}
+
+// WorkloadInfo describes one workload preset with its realized TOR.
+type WorkloadInfo struct {
+	Name        string
+	W, H, FPS   int
+	Object      string
+	ConfigTOR   float64
+	RealizedTOR float64
+}
+
+// Table1 samples both workload presets and reports their realized
+// target-object ratios.
+func Table1(s Scale) (*Table1Result, error) {
+	res := &Table1Result{}
+	for _, w := range []struct {
+		name string
+		cfg  vidgen.Config
+	}{
+		{"Coral (person)", vidgen.Coral(1)},
+		{"Jackson (car)", vidgen.Jackson(2)},
+	} {
+		src := vidgen.New(w.cfg)
+		// TOR converges over several scene/gap cycles; at TOR 0.08 one
+		// cycle spans >1000 frames, so sample a long fixed window
+		// regardless of scale.
+		n := max(s.OfflineFrames, 5000)
+		for i := 0; i < n; i++ {
+			src.Next()
+		}
+		res.Rows = append(res.Rows, WorkloadInfo{
+			Name: w.name, W: w.cfg.W, H: w.cfg.H, FPS: w.cfg.FPS,
+			Object:    w.cfg.Target.String(),
+			ConfigTOR: w.cfg.TOR, RealizedTOR: src.RealizedTOR(),
+		})
+	}
+	return res, nil
+}
+
+// Tables renders the result.
+func (r *Table1Result) Tables() []*Table {
+	t := &Table{
+		ID:      "Table 1",
+		Title:   "Information of evaluation videos (synthetic equivalents)",
+		Columns: []string{"video", "resolution", "object", "fps", "TOR(cfg)", "TOR(realized)"},
+		Notes: []string{
+			"paper: Coral 1280*720 person 30FPS TOR 50%; Jackson 600*400 car 30FPS TOR 8%",
+		},
+	}
+	for _, w := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			w.Name, fmt.Sprintf("%d*%d", w.W, w.H), w.Object, itoa(w.FPS),
+			pct(w.ConfigTOR), pct(w.RealizedTOR),
+		})
+	}
+	return []*Table{t}
+}
+
+// StreamsResult reproduces Fig. 3 / Fig. 4: throughput and latency as a
+// function of the number of streams, plus the headline comparisons.
+type StreamsResult struct {
+	ID  string
+	TOR float64
+
+	OfflineFFS      float64 // single-stream offline FPS
+	OfflineBaseline float64
+	OfflineSpeedup  float64
+
+	Rows []OnlineRow
+
+	MaxStreamsDynamic  int
+	MaxStreamsFeedback int
+	MaxStreamsBaseline int
+}
+
+// OnlineRow is one (streams, policy) measurement.
+type OnlineRow struct {
+	Streams     int
+	Policy      pipeline.BatchPolicy
+	Throughput  float64
+	PerStream   float64
+	LatencyMean time.Duration
+	LatencyP99  time.Duration
+	Realtime    bool
+}
+
+// figStreams is the shared engine behind Fig3 and Fig4.
+func figStreams(s Scale, id string, tor float64, sweep []int) (*StreamsResult, error) {
+	res := &StreamsResult{ID: id, TOR: tor}
+
+	offRep, _, err := run(runOpts{
+		workload: core.WorkloadCar, tor: tor, streams: 1, frames: s.OfflineFrames,
+		mode: pipeline.Offline, policy: pipeline.BatchDynamic, seedBase: 31,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.OfflineFFS = offRep.Throughput
+	res.OfflineBaseline = runBaseline(core.WorkloadCar, tor, 1, s.OfflineFrames/2, pipeline.Offline).Throughput
+	if res.OfflineBaseline > 0 {
+		res.OfflineSpeedup = res.OfflineFFS / res.OfflineBaseline
+	}
+
+	for _, n := range sweep {
+		for _, policy := range []pipeline.BatchPolicy{pipeline.BatchFeedback, pipeline.BatchDynamic} {
+			rep, _, err := run(runOpts{
+				workload: core.WorkloadCar, tor: tor, streams: n, frames: s.OnlineFrames,
+				mode: pipeline.Online, policy: policy, batch: 30, seedBase: int64(40 + n),
+				// Same probe buffer as the max-streams search, so the
+				// sweep's realtime column matches the reported knee.
+				mutate: func(c *pipeline.Config) { c.IngestBuffer = min(300, s.OnlineFrames/3) },
+			})
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, OnlineRow{
+				Streams: n, Policy: policy,
+				Throughput: rep.Throughput, PerStream: rep.PerStreamFPS,
+				LatencyMean: rep.LatencyMean, LatencyP99: rep.LatencyP99,
+				Realtime: rep.Realtime,
+			})
+		}
+	}
+
+	if res.MaxStreamsDynamic, err = maxStreams(core.WorkloadCar, tor, s.OnlineFrames, s.MaxStreamsCap, pipeline.BatchDynamic); err != nil {
+		return nil, err
+	}
+	if res.MaxStreamsFeedback, err = maxStreams(core.WorkloadCar, tor, s.OnlineFrames, s.MaxStreamsCap, pipeline.BatchFeedback); err != nil {
+		return nil, err
+	}
+	res.MaxStreamsBaseline = maxStreamsBaseline(core.WorkloadCar, tor, s.OnlineFrames, 10)
+	return res, nil
+}
+
+// Fig3 runs the low-TOR sweep (paper TOR 0.103).
+func Fig3(s Scale) (*StreamsResult, error) {
+	return figStreams(s, "Fig 3", 0.103, s.Fig3Streams)
+}
+
+// Fig4 runs the extreme-TOR sweep (paper TOR 1.000).
+func Fig4(s Scale) (*StreamsResult, error) {
+	return figStreams(s, "Fig 4", 1.0, s.Fig4Streams)
+}
+
+// Tables renders the result.
+func (r *StreamsResult) Tables() []*Table {
+	head := &Table{
+		ID:      r.ID,
+		Title:   fmt.Sprintf("throughput & latency vs streams, TOR=%.3f", r.TOR),
+		Columns: []string{"metric", "FFS-VA", "YOLOv2", "ratio"},
+		Rows: [][]string{
+			{"offline FPS (1 stream)", fps(r.OfflineFFS), fps(r.OfflineBaseline), fmt.Sprintf("%.2fx", r.OfflineSpeedup)},
+			{"max real-time streams (dynamic)", itoa(r.MaxStreamsDynamic), itoa(r.MaxStreamsBaseline),
+				fmt.Sprintf("%.2fx", ratio(r.MaxStreamsDynamic, r.MaxStreamsBaseline))},
+			{"max real-time streams (feedback)", itoa(r.MaxStreamsFeedback), itoa(r.MaxStreamsBaseline),
+				fmt.Sprintf("%.2fx", ratio(r.MaxStreamsFeedback, r.MaxStreamsBaseline))},
+		},
+	}
+	if r.TOR < 0.5 {
+		head.Notes = append(head.Notes,
+			"paper: offline 404 FPS = 3x YOLOv2; online 30 streams = 7x; dynamic batch ~20% fewer streams, ~50% lower latency")
+	} else {
+		head.Notes = append(head.Notes, "paper: at TOR 1.0 only 5-6 streams; offline close to YOLOv2")
+	}
+	sweep := &Table{
+		ID:      r.ID + " (sweep)",
+		Title:   "online sweep",
+		Columns: []string{"streams", "policy", "FPS", "FPS/stream", "lat(mean)", "lat(p99)", "realtime"},
+	}
+	for _, row := range r.Rows {
+		sweep.Rows = append(sweep.Rows, []string{
+			itoa(row.Streams), row.Policy.String(), fps(row.Throughput), fps(row.PerStream),
+			ms(row.LatencyMean), ms(row.LatencyP99), fmt.Sprintf("%v", row.Realtime),
+		})
+	}
+	return []*Table{head, sweep}
+}
+
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Fig5Result reproduces Fig. 5: the ratio of frames executed in each
+// filter.
+type Fig5Result struct {
+	Cases []Fig5Case
+}
+
+// Fig5Case is one workload's per-stage execution ratios.
+type Fig5Case struct {
+	Name   string
+	TOR    float64
+	Ratios [5]float64 // ingest, SDD, SNM, T-YOLO, reference
+}
+
+// Fig5 measures per-filter execution ratios for the paper's two cases:
+// car detection at TOR 0.435 and person detection at TOR 0.259.
+func Fig5(s Scale) (*Fig5Result, error) {
+	res := &Fig5Result{}
+	for _, c := range []struct {
+		name     string
+		workload core.WorkloadKind
+		tor      float64
+	}{
+		{"car (TOR=0.435)", core.WorkloadCar, 0.435},
+		{"person (TOR=0.259)", core.WorkloadPerson, 0.259},
+	} {
+		rep, _, err := run(runOpts{
+			workload: c.workload, tor: c.tor, streams: 1, frames: s.OfflineFrames,
+			mode: pipeline.Offline, policy: pipeline.BatchDynamic, seedBase: 51,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fc := Fig5Case{Name: c.name, TOR: c.tor}
+		for i := 0; i < 5; i++ {
+			fc.Ratios[i] = rep.StageRatio(i)
+		}
+		res.Cases = append(res.Cases, fc)
+	}
+	return res, nil
+}
+
+// Tables renders the result.
+func (r *Fig5Result) Tables() []*Table {
+	t := &Table{
+		ID:      "Fig 5",
+		Title:   "ratio of frames executed in each filter",
+		Columns: []string{"case", "ingest", "SDD", "SNM", "T-YOLO", "YOLOv2"},
+		Notes: []string{
+			"paper: execution speeds ~20K/2K/200/56 FPS; SDD filters little in busy daytime, SNM tracks TOR, T-YOLO works in all cases",
+		},
+	}
+	for _, c := range r.Cases {
+		t.Rows = append(t.Rows, []string{
+			c.Name, pct(c.Ratios[0]), pct(c.Ratios[1]), pct(c.Ratios[2]), pct(c.Ratios[3]), pct(c.Ratios[4]),
+		})
+	}
+	return []*Table{t}
+}
+
+// Fig6aResult reproduces Fig. 6a: maximum scalability as a function of
+// TOR.
+type Fig6aResult struct {
+	Rows []Fig6aRow
+}
+
+// Fig6aRow is one TOR's limits.
+type Fig6aRow struct {
+	TOR        float64
+	MaxStreams int
+	OfflineFPS float64
+}
+
+// Fig6a sweeps TOR and reports the online stream limit and offline rate.
+func Fig6a(s Scale) (*Fig6aResult, error) {
+	res := &Fig6aResult{}
+	for _, tor := range s.Fig6TORs {
+		maxN, err := maxStreams(core.WorkloadCar, tor, s.OnlineFrames, s.MaxStreamsCap, pipeline.BatchDynamic)
+		if err != nil {
+			return nil, err
+		}
+		rep, _, err := run(runOpts{
+			workload: core.WorkloadCar, tor: tor, streams: 1, frames: s.OfflineFrames,
+			mode: pipeline.Offline, policy: pipeline.BatchDynamic, seedBase: 61,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig6aRow{TOR: tor, MaxStreams: maxN, OfflineFPS: rep.Throughput})
+	}
+	return res, nil
+}
+
+// Tables renders the result.
+func (r *Fig6aResult) Tables() []*Table {
+	t := &Table{
+		ID:      "Fig 6a",
+		Title:   "maximum scalability as a function of TOR",
+		Columns: []string{"TOR", "max streams", "offline FPS"},
+		Notes:   []string{"paper: max streams and offline speed increase as TOR decreases"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{pct(row.TOR), itoa(row.MaxStreams), fps(row.OfflineFPS)})
+	}
+	return []*Table{t}
+}
+
+// Fig6bResult reproduces Fig. 6b: per-stream execution time normalized to
+// the slowest, across an even TOR spread.
+type Fig6bResult struct {
+	TORs       []float64
+	Normalized []float64
+}
+
+// Fig6b runs 10 streams with TORs spread evenly in (0, 0.4] and measures
+// load balance.
+func Fig6b(s Scale) (*Fig6bResult, error) {
+	const n = 10
+	spread := make([]float64, n)
+	for i := range spread {
+		spread[i] = 0.04 * float64(i+1) // 0.04 .. 0.40
+	}
+	rep, _, err := run(runOpts{
+		workload: core.WorkloadCar, tor: 0.2, streams: n, frames: s.OfflineFrames,
+		mode: pipeline.Offline, policy: pipeline.BatchDynamic, seedBase: 71,
+		torSpread: spread,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig6bResult{TORs: spread}
+	var slowest time.Duration
+	for _, sr := range rep.Streams {
+		if sr.ExecTime > slowest {
+			slowest = sr.ExecTime
+		}
+	}
+	for _, sr := range rep.Streams {
+		res.Normalized = append(res.Normalized, float64(sr.ExecTime)/float64(slowest))
+	}
+	return res, nil
+}
+
+// Tables renders the result.
+func (r *Fig6bResult) Tables() []*Table {
+	t := &Table{
+		ID:      "Fig 6b",
+		Title:   "load balance: per-stream execution time (normalized to slowest)",
+		Columns: []string{"stream", "TOR", "normalized exec time"},
+		Notes:   []string{"paper: except at very low TOR, execution times are close -> load balancing works"},
+	}
+	for i := range r.Normalized {
+		t.Rows = append(t.Rows, []string{itoa(i), pct(r.TORs[i]), fmt.Sprintf("%.3f", r.Normalized[i])})
+	}
+	return []*Table{t}
+}
+
+// Fig7Result reproduces Fig. 7: throughput and error rate as a function
+// of FilterDegree.
+type Fig7Result struct {
+	Cases []Fig7Case
+}
+
+// Fig7Case is one workload's FilterDegree sweep.
+type Fig7Case struct {
+	Name string
+	Rows []Fig7Row
+}
+
+// Fig7Row is one FilterDegree measurement.
+type Fig7Row struct {
+	FilterDegree float64
+	OutputFrames int64 // frames surviving to the reference model
+	Throughput   float64
+	ErrorRate    float64
+}
+
+// Fig7 sweeps FilterDegree for car (TOR 0.197) and person (TOR 1.000).
+func Fig7(s Scale) (*Fig7Result, error) {
+	res := &Fig7Result{}
+	for _, c := range []struct {
+		name     string
+		workload core.WorkloadKind
+		tor      float64
+	}{
+		{"car (TOR=0.197)", core.WorkloadCar, 0.197},
+		{"person (TOR=1.000)", core.WorkloadPerson, 1.0},
+	} {
+		fc := Fig7Case{Name: c.name}
+		for _, fd := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+			rep, acc, err := run(runOpts{
+				workload: c.workload, tor: c.tor, streams: 1, frames: s.OfflineFrames,
+				mode: pipeline.Offline, policy: pipeline.BatchDynamic,
+				fd: fd, hasFD: true, seedBase: 81,
+			})
+			if err != nil {
+				return nil, err
+			}
+			fc.Rows = append(fc.Rows, Fig7Row{
+				FilterDegree: fd,
+				OutputFrames: rep.StageProcessed[4],
+				Throughput:   rep.Throughput,
+				ErrorRate:    acc.ErrorRate(),
+			})
+		}
+		res.Cases = append(res.Cases, fc)
+	}
+	return res, nil
+}
+
+// Tables renders the result.
+func (r *Fig7Result) Tables() []*Table {
+	var out []*Table
+	for _, c := range r.Cases {
+		t := &Table{
+			ID:      "Fig 7",
+			Title:   "throughput & error rate vs FilterDegree — " + c.Name,
+			Columns: []string{"FilterDegree", "output frames", "FPS", "error rate"},
+			Notes: []string{
+				"paper: higher FilterDegree filters more borderline frames (car); at person TOR 1.0 FilterDegree has little effect",
+			},
+		}
+		for _, row := range c.Rows {
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%.2f", row.FilterDegree), i64(row.OutputFrames), fps(row.Throughput), pct(row.ErrorRate),
+			})
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Fig8Result reproduces Fig. 8: output frames and error rate as a
+// function of NumberofObjects, including the tolerance relaxation of
+// §5.3.3.
+type Fig8Result struct {
+	Cases []Fig8Case
+}
+
+// Fig8Case is one workload's sweep.
+type Fig8Case struct {
+	Name string
+	Rows []Fig8Row
+}
+
+// Fig8Row is one (NumberofObjects, Tolerance) measurement.
+type Fig8Row struct {
+	NumberOfObjects int
+	Tolerance       int
+	OutputFrames    int64
+	ErrorRate       float64
+}
+
+// Fig8 sweeps NumberofObjects for car (few large objects) and person
+// (dense crowds), plus tolerance relaxations for the person case.
+func Fig8(s Scale) (*Fig8Result, error) {
+	res := &Fig8Result{}
+	carCase := Fig8Case{Name: "car (TOR=0.197)"}
+	for _, n := range []int{1, 2, 3} {
+		row, err := fig8Row(s, core.WorkloadCar, 0.197, n, 0)
+		if err != nil {
+			return nil, err
+		}
+		carCase.Rows = append(carCase.Rows, row)
+	}
+	res.Cases = append(res.Cases, carCase)
+
+	personCase := Fig8Case{Name: "person (TOR=1.000)"}
+	for _, n := range []int{1, 2, 4, 6, 8} {
+		row, err := fig8Row(s, core.WorkloadPerson, 1.0, n, 0)
+		if err != nil {
+			return nil, err
+		}
+		personCase.Rows = append(personCase.Rows, row)
+	}
+	// Tolerance relaxation at a mid threshold (paper: tolerating 1-2
+	// misjudged objects cuts the error rate by 80.7% / 94.8%).
+	for _, tol := range []int{1, 2} {
+		row, err := fig8Row(s, core.WorkloadPerson, 1.0, 4, tol)
+		if err != nil {
+			return nil, err
+		}
+		personCase.Rows = append(personCase.Rows, row)
+	}
+	res.Cases = append(res.Cases, personCase)
+	return res, nil
+}
+
+func fig8Row(s Scale, w core.WorkloadKind, tor float64, n, tol int) (Fig8Row, error) {
+	rep, acc, err := run(runOpts{
+		workload: w, tor: tor, streams: 1, frames: s.OfflineFrames,
+		mode: pipeline.Offline, policy: pipeline.BatchDynamic,
+		numObjects: n, tolerance: tol, seedBase: 91,
+	})
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	return Fig8Row{
+		NumberOfObjects: n, Tolerance: tol,
+		OutputFrames: rep.StageProcessed[4], ErrorRate: acc.ErrorRate(),
+	}, nil
+}
+
+// Tables renders the result.
+func (r *Fig8Result) Tables() []*Table {
+	var out []*Table
+	for _, c := range r.Cases {
+		t := &Table{
+			ID:      "Fig 8",
+			Title:   "output frames & error rate vs NumberofObjects — " + c.Name,
+			Columns: []string{"NumberofObjects", "tolerance", "output frames", "error rate"},
+			Notes: []string{
+				"paper: car output drops ~80% by N=3; dense persons undercounted by T-YOLO -> high error, cut 80.7%/94.8% by tolerance 1/2",
+			},
+		}
+		for _, row := range c.Rows {
+			t.Rows = append(t.Rows, []string{
+				itoa(row.NumberOfObjects), itoa(row.Tolerance), i64(row.OutputFrames), pct(row.ErrorRate),
+			})
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Table2Result reproduces Table 2: the error-frame taxonomy over a run of
+// consecutive frames, plus the headline scene-loss rate.
+type Table2Result struct {
+	Frames int
+	Acc    core.Accuracy
+}
+
+// Table2 analyzes car detection at TOR 0.25 over consecutive frames.
+func Table2(s Scale) (*Table2Result, error) {
+	_, acc, err := run(runOpts{
+		workload: core.WorkloadCar, tor: 0.25, streams: 1, frames: s.Table2Frames,
+		mode: pipeline.Offline, policy: pipeline.BatchDynamic, seedBase: 95,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Table2Result{Frames: s.Table2Frames, Acc: acc}, nil
+}
+
+// Tables renders the result.
+func (r *Table2Result) Tables() []*Table {
+	a := r.Acc
+	t := &Table{
+		ID:      "Table 2",
+		Title:   fmt.Sprintf("statistics of error frames in %d consecutive video frames (car, TOR=0.25)", r.Frames),
+		Columns: []string{"error frame category", "frames"},
+		Rows: [][]string{
+			{"isolated single error frame", i64(a.IsolatedSingle)},
+			{"2-3 isolated-continuous error frames", i64(a.Isolated2To3)},
+			{"continuously-error frames less than 30", i64(a.RunsUnder30)},
+			{"continuously-error frames more than 30", i64(a.Runs30Plus)},
+		},
+		Notes: []string{
+			"paper: 3 / 5 / 73 / 140 frames; ~50 of 5000 frames were true scene losses",
+			fmt.Sprintf("scene-level: %d/%d scenes detected (loss %.2f%%; paper: <2%%)",
+				a.ScenesDetected, a.Scenes, 100*a.SceneLossRate()),
+		},
+	}
+	return []*Table{t}
+}
+
+// BatchResult reproduces Fig. 9 / Fig. 10: throughput and latency under
+// the three batch mechanisms.
+type BatchResult struct {
+	ID   string
+	TOR  float64
+	Rows []BatchRow
+}
+
+// BatchRow is one (policy, batch size) measurement. Throughput comes
+// from an offline run (unbounded ingest, Fig. a); latency from an online
+// run at capture rate (Fig. b).
+type BatchRow struct {
+	Policy            pipeline.BatchPolicy
+	BatchSize         int
+	ThroughputOffline float64
+	LatencyOnline     time.Duration
+}
+
+func figBatch(s Scale, id string, tor float64) (*BatchResult, error) {
+	res := &BatchResult{ID: id, TOR: tor}
+	const streams = 10
+	// The batch mechanisms matter when the SNM stage carries the GPU-0
+	// load and few frames reach the reference model; a traffic-jam query
+	// (at least 3 cars) puts the experiment in that regime, matching the
+	// paper's rising static-batch curve.
+	const numObjects = 3
+	for _, policy := range []pipeline.BatchPolicy{pipeline.BatchStatic, pipeline.BatchFeedback, pipeline.BatchDynamic} {
+		for _, b := range s.BatchSizes {
+			off, _, err := run(runOpts{
+				workload: core.WorkloadCar, tor: tor, streams: streams, frames: s.OnlineFrames,
+				mode: pipeline.Offline, policy: policy, batch: b, seedBase: int64(200 + b),
+				numObjects: numObjects,
+			})
+			if err != nil {
+				return nil, err
+			}
+			on, _, err := run(runOpts{
+				workload: core.WorkloadCar, tor: tor, streams: streams, frames: s.OnlineFrames,
+				mode: pipeline.Online, policy: policy, batch: b, seedBase: int64(300 + b),
+				numObjects: numObjects,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, BatchRow{
+				Policy: policy, BatchSize: b,
+				ThroughputOffline: off.Throughput,
+				LatencyOnline:     on.LatencyMean,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Fig9 measures batching at low TOR (paper 0.203).
+func Fig9(s Scale) (*BatchResult, error) { return figBatch(s, "Fig 9", 0.203) }
+
+// Fig10 measures batching at high TOR (paper 0.980).
+func Fig10(s Scale) (*BatchResult, error) { return figBatch(s, "Fig 10", 0.98) }
+
+// Tables renders the result.
+func (r *BatchResult) Tables() []*Table {
+	t := &Table{
+		ID:      r.ID,
+		Title:   fmt.Sprintf("throughput & latency under batch mechanisms, TOR=%.3f, 10 streams", r.TOR),
+		Columns: []string{"policy", "batch", "offline FPS", "online latency(mean)"},
+		Notes: []string{
+			"paper (low TOR): static throughput grows with batch; feedback dips ~8% at high batch; dynamic trades ~16% throughput for ~50% lower latency",
+			"paper (high TOR): batch size barely matters for throughput; dynamic still has the lowest latency",
+		},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Policy.String(), itoa(row.BatchSize), fps(row.ThroughputOffline), ms(row.LatencyOnline),
+		})
+	}
+	return []*Table{t}
+}

@@ -1,0 +1,44 @@
+package filters
+
+import (
+	"math/rand"
+	"testing"
+
+	"ffsva/internal/frame"
+	"ffsva/internal/nn"
+	"ffsva/internal/vidgen"
+)
+
+// benchNet mirrors the SNM topology without importing the trainer (which
+// would create an import cycle in tests).
+func benchNet(rng *rand.Rand) *nn.Net {
+	c1 := nn.NewConv2D(rng, 1, 6, 5, 3, 2)
+	h1, w1 := c1.OutSize(SNMSize, SNMSize)
+	c2 := nn.NewConv2D(rng, 6, 12, 3, 2, 1)
+	h2, w2 := c2.OutSize(h1, w1)
+	return nn.NewNet(c1, &nn.ReLU{}, c2, &nn.ReLU{}, nn.NewDense(rng, 12*h2*w2, 1))
+}
+
+func BenchmarkSDDProcess(b *testing.B) {
+	cfg := vidgen.Small(1, frame.ClassCar, 0.3)
+	s := vidgen.New(cfg)
+	sdd := NewSDD(s.Background(), 40, MetricMSE)
+	frames := vidgen.Generate(s, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sdd.Process(frames[i%len(frames)])
+	}
+}
+
+func BenchmarkSNMProcess(b *testing.B) {
+	cfg := vidgen.Small(2, frame.ClassCar, 0.3)
+	s := vidgen.New(cfg)
+	net := benchNet(rand.New(rand.NewSource(1)))
+	snm := NewSNM(net, 0.2, 0.8, 0.5)
+	frames := vidgen.Generate(s, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snm.Process(frames[i%len(frames)])
+	}
+}

@@ -1,0 +1,411 @@
+// Package filters implements FFS-VA's three prepositive filters (paper
+// §3.2): the stream-specialized difference detector (SDD), the
+// stream-specialized network model (SNM), and the shared T-YOLO counting
+// filter. Each filter exposes a uniform Process interface returning a
+// pass/drop verdict plus per-filter statistics, so the pipeline can
+// compose them into the four-stage cascade.
+package filters
+
+import (
+	"fmt"
+	"math"
+
+	"ffsva/internal/detect"
+	"ffsva/internal/frame"
+	"ffsva/internal/imgproc"
+	"ffsva/internal/nn"
+)
+
+// Verdict is a filter decision for one frame.
+type Verdict int
+
+// Filter decisions.
+const (
+	Drop Verdict = iota
+	Pass
+)
+
+// String returns "drop" or "pass".
+func (v Verdict) String() string {
+	if v == Pass {
+		return "pass"
+	}
+	return "drop"
+}
+
+// Filter is one stage of the cascade.
+type Filter interface {
+	Name() string
+	Process(f *frame.Frame) Verdict
+}
+
+// Stats counts a filter's traffic.
+type Stats struct {
+	Processed int64
+	Passed    int64
+}
+
+// Dropped returns Processed − Passed.
+func (s Stats) Dropped() int64 { return s.Processed - s.Passed }
+
+// PassRate returns Passed/Processed, or 0 when idle.
+func (s Stats) PassRate() float64 {
+	if s.Processed == 0 {
+		return 0
+	}
+	return float64(s.Passed) / float64(s.Processed)
+}
+
+// SDDSize is the square input side of the difference detector; the paper
+// runs SDD on 100×100 images.
+const SDDSize = 100
+
+// Metric selects the SDD distance function.
+type Metric int
+
+// SDD distance metrics (paper §3.2.1 lists all three).
+const (
+	MetricMSE Metric = iota
+	MetricNRMSE
+	MetricSAD
+)
+
+// String names the metric.
+func (m Metric) String() string {
+	switch m {
+	case MetricMSE:
+		return "mse"
+	case MetricNRMSE:
+		return "nrmse"
+	case MetricSAD:
+		return "sad"
+	default:
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+}
+
+// SDD is the stream-specialized difference detector: it drops frames
+// whose distance to a reference background image is below δdiff. Two
+// mechanisms absorb the slow background changes the paper identifies as
+// δdiff confounders (weather, light intensity, §3.2.1): dropped frames
+// fold into the reference by an exponential moving average, and — with
+// CompensateLum, the default — the distance removes the global
+// brightness offset between frame and reference before comparing, so a
+// uniformly lighter or darker scene is still background.
+type SDD struct {
+	ref    []float64 // SDDSize² running reference
+	Delta  float64
+	Metric Metric
+	// Alpha is the EMA rate applied on dropped (background) frames.
+	Alpha float64
+	// CompensateLum removes the mean brightness offset before measuring
+	// distance.
+	CompensateLum bool
+	stats         Stats
+	lastD         float64
+}
+
+// NewSDD builds an SDD from a trained reference image (at any size; it is
+// resampled to SDDSize) and a fitted threshold.
+func NewSDD(ref *imgproc.Gray, delta float64, metric Metric) *SDD {
+	small := imgproc.Resize(ref, SDDSize, SDDSize)
+	s := &SDD{Delta: delta, Metric: metric, Alpha: 0.02, CompensateLum: true,
+		ref: make([]float64, SDDSize*SDDSize)}
+	for i, p := range small.Pix {
+		s.ref[i] = float64(p)
+	}
+	return s
+}
+
+// Distance computes an SDD distance between an image and a reference of
+// equal size, optionally compensating the global illumination offset.
+// The trainer uses the same function when fitting δdiff, so thresholds
+// and runtime agree.
+func Distance(img, ref *imgproc.Gray, m Metric, compensateLum bool) float64 {
+	if img.W != ref.W || img.H != ref.H {
+		panic("filters: Distance: size mismatch")
+	}
+	n := float64(len(img.Pix))
+	var offset float64
+	if compensateLum {
+		var sum float64
+		for i := range img.Pix {
+			sum += float64(img.Pix[i]) - float64(ref.Pix[i])
+		}
+		offset = sum / n
+	}
+	switch m {
+	case MetricSAD:
+		var sad float64
+		for i := range img.Pix {
+			d := float64(img.Pix[i]) - float64(ref.Pix[i]) - offset
+			if d < 0 {
+				d = -d
+			}
+			sad += d
+		}
+		return sad
+	default: // MSE / NRMSE
+		var sq float64
+		for i := range img.Pix {
+			d := float64(img.Pix[i]) - float64(ref.Pix[i]) - offset
+			sq += d * d
+		}
+		mse := sq / n
+		if m == MetricNRMSE {
+			return math.Sqrt(mse) / 255
+		}
+		return mse
+	}
+}
+
+// Name implements Filter.
+func (s *SDD) Name() string { return "sdd" }
+
+// Stats returns traffic counters.
+func (s *SDD) Stats() Stats { return s.stats }
+
+// LastDistance reports the distance computed for the most recent frame,
+// for threshold diagnostics.
+func (s *SDD) LastDistance() float64 { return s.lastD }
+
+// refGray materializes the running reference as an image.
+func (s *SDD) refGray() *imgproc.Gray {
+	g := imgproc.NewGray(SDDSize, SDDSize)
+	for i, v := range s.ref {
+		if v < 0 {
+			v = 0
+		} else if v > 255 {
+			v = 255
+		}
+		g.Pix[i] = uint8(v + 0.5)
+	}
+	return g
+}
+
+// Process implements Filter: drop when the frame is background.
+func (s *SDD) Process(f *frame.Frame) Verdict {
+	s.stats.Processed++
+	small := imgproc.Resize(imgproc.FromFrame(f), SDDSize, SDDSize)
+	d := Distance(small, s.refGray(), s.Metric, s.CompensateLum)
+	s.lastD = d
+	if d <= s.Delta {
+		// Background: adapt the reference.
+		for i, p := range small.Pix {
+			s.ref[i] += s.Alpha * (float64(p) - s.ref[i])
+		}
+		return Drop
+	}
+	s.stats.Passed++
+	return Pass
+}
+
+// SNMSize is the square input side of the specialized network model; the
+// paper runs SNM on 50×50 images.
+const SNMSize = 50
+
+// SNM is the stream-specialized CNN filter. It predicts the probability
+// that the frame contains the target object and drops frames scoring
+// below tpre = (chigh − clow)·FilterDegree + clow (paper Eq. 2).
+type SNM struct {
+	Net          *nn.Net
+	CLow, CHigh  float64
+	FilterDegree float64
+	stats        Stats
+	lastP        float64
+}
+
+// NewSNM wraps a trained network and its selected thresholds.
+func NewSNM(net *nn.Net, clow, chigh, filterDegree float64) *SNM {
+	if clow > chigh {
+		clow, chigh = chigh, clow
+	}
+	return &SNM{Net: net, CLow: clow, CHigh: chigh, FilterDegree: filterDegree}
+}
+
+// Name implements Filter.
+func (s *SNM) Name() string { return "snm" }
+
+// Stats returns traffic counters.
+func (s *SNM) Stats() Stats { return s.stats }
+
+// TPre returns the effective threshold for the current FilterDegree.
+func (s *SNM) TPre() float64 {
+	fd := s.FilterDegree
+	if fd < 0 {
+		fd = 0
+	} else if fd > 1 {
+		fd = 1
+	}
+	return (s.CHigh-s.CLow)*fd + s.CLow
+}
+
+// Input converts a frame to the network's input tensor. Exposed so the
+// trainer builds datasets with the identical transform.
+func Input(f *frame.Frame) *nn.Tensor {
+	small := imgproc.Resize(imgproc.FromFrame(f), SNMSize, SNMSize)
+	return GrayInput(small)
+}
+
+// GrayInput converts a pre-resized grayscale image to a normalized
+// network input in [-1, 1].
+func GrayInput(g *imgproc.Gray) *nn.Tensor {
+	if g.W != SNMSize || g.H != SNMSize {
+		g = imgproc.Resize(g, SNMSize, SNMSize)
+	}
+	x := nn.NewTensor(1, 1, SNMSize, SNMSize)
+	for i, p := range g.Pix {
+		x.Data[i] = float32(p)/127.5 - 1
+	}
+	return x
+}
+
+// Prob returns the predicted target probability for a frame.
+func (s *SNM) Prob(f *frame.Frame) float64 {
+	out := s.Net.Forward(Input(f))
+	p := float64(nn.Sigmoid(out.Data[0]))
+	s.lastP = p
+	return p
+}
+
+// LastProb reports the most recent prediction.
+func (s *SNM) LastProb() float64 { return s.lastP }
+
+// Process implements Filter: pass target-object frames (c ≥ tpre).
+func (s *SNM) Process(f *frame.Frame) Verdict {
+	s.stats.Processed++
+	if s.Prob(f) >= s.TPre() {
+		s.stats.Passed++
+		return Pass
+	}
+	return Drop
+}
+
+// MultiSNM is the §5.5 multi-target variant of the SNM: one sigmoid
+// output per target class, with per-class threshold bands. A frame
+// passes when any class's probability reaches its tpre.
+type MultiSNM struct {
+	Net *nn.Net
+	// CLow/CHigh are per-class threshold bands, index-aligned with the
+	// network outputs.
+	CLow, CHigh  []float64
+	FilterDegree float64
+	stats        Stats
+	lastP        []float64
+}
+
+// NewMultiSNM wraps a trained multi-output network and its per-class
+// thresholds; the slices must be equal length.
+func NewMultiSNM(net *nn.Net, clow, chigh []float64, filterDegree float64) *MultiSNM {
+	if len(clow) != len(chigh) || len(clow) == 0 {
+		panic("filters: MultiSNM needs matching non-empty threshold bands")
+	}
+	lo := append([]float64(nil), clow...)
+	hi := append([]float64(nil), chigh...)
+	for i := range lo {
+		if lo[i] > hi[i] {
+			lo[i], hi[i] = hi[i], lo[i]
+		}
+	}
+	return &MultiSNM{Net: net, CLow: lo, CHigh: hi, FilterDegree: filterDegree}
+}
+
+// Name implements Filter.
+func (s *MultiSNM) Name() string { return "multi-snm" }
+
+// Stats returns traffic counters.
+func (s *MultiSNM) Stats() Stats { return s.stats }
+
+// TPre returns class i's effective threshold.
+func (s *MultiSNM) TPre(i int) float64 {
+	fd := s.FilterDegree
+	if fd < 0 {
+		fd = 0
+	} else if fd > 1 {
+		fd = 1
+	}
+	return (s.CHigh[i]-s.CLow[i])*fd + s.CLow[i]
+}
+
+// Probs returns the per-class probabilities for a frame.
+func (s *MultiSNM) Probs(f *frame.Frame) []float64 {
+	out := s.Net.Forward(Input(f))
+	ps := make([]float64, len(s.CLow))
+	for i := range ps {
+		ps[i] = float64(nn.Sigmoid(out.Data[i]))
+	}
+	s.lastP = ps
+	return ps
+}
+
+// LastProbs reports the most recent per-class predictions.
+func (s *MultiSNM) LastProbs() []float64 { return s.lastP }
+
+// Process implements Filter: pass when any class clears its threshold.
+func (s *MultiSNM) Process(f *frame.Frame) Verdict {
+	s.stats.Processed++
+	for i, p := range s.Probs(f) {
+		if p >= s.TPre(i) {
+			s.stats.Passed++
+			return Pass
+		}
+	}
+	return Drop
+}
+
+// ConfThresh is the detection confidence above which T-YOLO counts one
+// target object (paper §3.2.3 uses 0.2).
+const ConfThresh = 0.2
+
+// TYolo is the shared counting filter: it passes frames whose detected
+// target-object count reaches NumberofObjects, optionally relaxed by
+// Tolerance misjudged objects (the accuracy/efficiency trade-off of paper
+// §5.3.3).
+type TYolo struct {
+	Det    detect.Detector
+	Target frame.Class
+	// NumberOfObjects is the user's minimum intensity threshold.
+	NumberOfObjects int
+	// Tolerance relaxes the threshold: a frame passes when
+	// count ≥ max(1, NumberOfObjects − Tolerance).
+	Tolerance int
+	stats     Stats
+	lastCount int
+}
+
+// NewTYolo wraps a detector into the counting filter.
+func NewTYolo(det detect.Detector, target frame.Class, numberOfObjects int) *TYolo {
+	if numberOfObjects < 1 {
+		numberOfObjects = 1
+	}
+	return &TYolo{Det: det, Target: target, NumberOfObjects: numberOfObjects}
+}
+
+// Name implements Filter.
+func (t *TYolo) Name() string { return "t-yolo" }
+
+// Stats returns traffic counters.
+func (t *TYolo) Stats() Stats { return t.stats }
+
+// EffectiveThreshold returns the relaxed object-count threshold.
+func (t *TYolo) EffectiveThreshold() int {
+	thr := t.NumberOfObjects - t.Tolerance
+	if thr < 1 {
+		thr = 1
+	}
+	return thr
+}
+
+// LastCount reports the target count of the most recent frame.
+func (t *TYolo) LastCount() int { return t.lastCount }
+
+// Process implements Filter.
+func (t *TYolo) Process(f *frame.Frame) Verdict {
+	t.stats.Processed++
+	t.lastCount = detect.Count(t.Det.Detect(f), t.Target, ConfThresh)
+	if t.lastCount >= t.EffectiveThreshold() {
+		t.stats.Passed++
+		return Pass
+	}
+	return Drop
+}

@@ -1,0 +1,147 @@
+// Package frame defines the video-frame representation shared by every
+// stage of FFS-VA: pixel buffer, capture metadata, and (for synthetic
+// workloads) embedded ground-truth annotations used for training and for
+// accuracy accounting.
+package frame
+
+import (
+	"fmt"
+	"time"
+)
+
+// Class identifies the kind of object a detector can report. The synthetic
+// workloads use Car and Person, matching the paper's Jackson and Coral
+// videos; the remaining classes exist so the shared T-YOLO substitute is a
+// multi-class ("generic") model as in the paper.
+type Class int
+
+// Object classes recognized by the generic detector.
+const (
+	ClassNone Class = iota
+	ClassCar
+	ClassPerson
+	ClassBus
+	ClassTruck
+	ClassBicycle
+	ClassDog
+	ClassCat
+	numClasses
+)
+
+// NumClasses is the number of distinct detectable classes (excluding
+// ClassNone).
+const NumClasses = int(numClasses) - 1
+
+// String returns the lowercase class name.
+func (c Class) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassCar:
+		return "car"
+	case ClassPerson:
+		return "person"
+	case ClassBus:
+		return "bus"
+	case ClassTruck:
+		return "truck"
+	case ClassBicycle:
+		return "bicycle"
+	case ClassDog:
+		return "dog"
+	case ClassCat:
+		return "cat"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Box is an axis-aligned bounding box in pixel coordinates, describing one
+// object instance in a frame.
+type Box struct {
+	X, Y, W, H int
+	Class      Class
+	// Visible is the fraction of the object's area inside the frame,
+	// in (0,1]. Values below 1 mark partial appearances (e.g. a vehicle
+	// entering the scene), which the paper identifies as a systematic
+	// false-negative source for T-YOLO.
+	Visible float64
+}
+
+// Area returns the box area in pixels.
+func (b Box) Area() int { return b.W * b.H }
+
+// Annotation is ground truth attached to synthetic frames. It is consumed
+// only by the reference-model oracle, the trainer, and accuracy
+// accounting — never by the filters under test.
+type Annotation struct {
+	// Boxes lists visible object instances.
+	Boxes []Box
+	// SceneID groups consecutive frames belonging to one target-object
+	// scene (a maximal run of frames containing at least one target
+	// object). Zero means no active scene.
+	SceneID int64
+	// Lum is the global illumination offset applied to this frame,
+	// recorded so tests can correlate light drift with SDD behavior.
+	Lum float64
+}
+
+// TargetCount returns how many boxes of class c the annotation holds.
+func (a *Annotation) TargetCount(c Class) int {
+	if a == nil {
+		return 0
+	}
+	n := 0
+	for _, b := range a.Boxes {
+		if b.Class == c {
+			n++
+		}
+	}
+	return n
+}
+
+// Frame is a single captured video frame. Pixels are 8-bit grayscale in
+// row-major order; the synthetic pipeline operates on luminance only,
+// which is all the paper's filters consume.
+type Frame struct {
+	StreamID int
+	Seq      int64
+	// Captured is the clock timestamp at which the prefetcher emitted
+	// the frame; end-to-end latency is measured from it.
+	Captured time.Duration
+	W, H     int
+	Pix      []uint8
+	// Truth carries ground-truth annotations on synthetic frames; nil on
+	// frames from unknown sources.
+	Truth *Annotation
+}
+
+// New allocates a zeroed frame of the given dimensions.
+func New(w, h int) *Frame {
+	return &Frame{W: w, H: h, Pix: make([]uint8, w*h)}
+}
+
+// At returns the pixel at (x, y). It performs no bounds checking beyond
+// the slice's own.
+func (f *Frame) At(x, y int) uint8 { return f.Pix[y*f.W+x] }
+
+// Set writes the pixel at (x, y).
+func (f *Frame) Set(x, y int, v uint8) { f.Pix[y*f.W+x] = v }
+
+// Clone returns a deep copy of the frame, including annotations.
+func (f *Frame) Clone() *Frame {
+	g := *f
+	g.Pix = make([]uint8, len(f.Pix))
+	copy(g.Pix, f.Pix)
+	if f.Truth != nil {
+		t := *f.Truth
+		t.Boxes = append([]Box(nil), f.Truth.Boxes...)
+		g.Truth = &t
+	}
+	return &g
+}
+
+// String summarizes the frame for logs.
+func (f *Frame) String() string {
+	return fmt.Sprintf("frame{stream=%d seq=%d %dx%d}", f.StreamID, f.Seq, f.W, f.H)
+}

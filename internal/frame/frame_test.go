@@ -1,0 +1,103 @@
+package frame
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassStrings(t *testing.T) {
+	want := map[Class]string{
+		ClassNone: "none", ClassCar: "car", ClassPerson: "person",
+		ClassBus: "bus", ClassTruck: "truck", ClassBicycle: "bicycle",
+		ClassDog: "dog", ClassCat: "cat",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), s)
+		}
+	}
+	if Class(99).String() != "class(99)" {
+		t.Errorf("unknown class = %q", Class(99).String())
+	}
+	if NumClasses != 7 {
+		t.Errorf("NumClasses = %d, want 7", NumClasses)
+	}
+}
+
+func TestAtSet(t *testing.T) {
+	f := New(4, 3)
+	if f.W != 4 || f.H != 3 || len(f.Pix) != 12 {
+		t.Fatalf("New: %+v", f)
+	}
+	f.Set(2, 1, 99)
+	if f.At(2, 1) != 99 || f.Pix[1*4+2] != 99 {
+		t.Fatal("At/Set addressing wrong")
+	}
+}
+
+func TestAtSetRoundTripProperty(t *testing.T) {
+	f := New(16, 16)
+	prop := func(x, y, v uint8) bool {
+		xi, yi := int(x)%16, int(y)%16
+		f.Set(xi, yi, v)
+		return f.At(xi, yi) == v
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	f := New(2, 2)
+	f.Truth = &Annotation{
+		Boxes:   []Box{{X: 1, Y: 1, W: 1, H: 1, Class: ClassCar, Visible: 1}},
+		SceneID: 7,
+	}
+	f.Pix[0] = 10
+	g := f.Clone()
+	g.Pix[0] = 20
+	g.Truth.Boxes[0].X = 5
+	g.Truth.SceneID = 8
+	if f.Pix[0] != 10 {
+		t.Fatal("Clone shares pixels")
+	}
+	if f.Truth.Boxes[0].X != 1 || f.Truth.SceneID != 7 {
+		t.Fatal("Clone shares annotation")
+	}
+}
+
+func TestCloneNilTruth(t *testing.T) {
+	f := New(2, 2)
+	g := f.Clone()
+	if g.Truth != nil {
+		t.Fatal("Clone invented truth")
+	}
+}
+
+func TestTargetCount(t *testing.T) {
+	var nilAnn *Annotation
+	if nilAnn.TargetCount(ClassCar) != 0 {
+		t.Fatal("nil annotation count != 0")
+	}
+	a := &Annotation{Boxes: []Box{
+		{Class: ClassCar}, {Class: ClassCar}, {Class: ClassPerson},
+	}}
+	if a.TargetCount(ClassCar) != 2 || a.TargetCount(ClassPerson) != 1 || a.TargetCount(ClassDog) != 0 {
+		t.Fatal("TargetCount wrong")
+	}
+}
+
+func TestBoxArea(t *testing.T) {
+	b := Box{W: 4, H: 5}
+	if b.Area() != 20 {
+		t.Fatalf("Area = %d", b.Area())
+	}
+}
+
+func TestFrameString(t *testing.T) {
+	f := New(10, 20)
+	f.StreamID, f.Seq = 3, 42
+	if got := f.String(); got != "frame{stream=3 seq=42 10x20}" {
+		t.Fatalf("String = %q", got)
+	}
+}

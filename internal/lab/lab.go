@@ -1,0 +1,171 @@
+// Package lab assembles ready-to-run FFS-VA setups from synthetic camera
+// presets: it trains each camera's stream-specialized models once
+// (caching the result, since training is deterministic) and mints
+// pipeline stream specs wired to fresh filter instances. The benchmark
+// harness, CLI tools, examples and integration tests all build their
+// systems through this package.
+package lab
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"ffsva/internal/detect"
+	"ffsva/internal/filters"
+	"ffsva/internal/frame"
+	"ffsva/internal/pipeline"
+	"ffsva/internal/train"
+	"ffsva/internal/vidgen"
+)
+
+// Camera bundles one camera viewpoint's trained artifacts.
+type Camera struct {
+	// Template is the stream configuration the camera was trained on;
+	// stream instances vary Seed (object dynamics) but share BGSeed.
+	Template vidgen.Config
+	SDD      train.SDDFit
+	SNM      train.SNMResult
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*Camera{}
+)
+
+// TrainCamera labels a training slice of the camera's video with the
+// reference model and fits SDD and SNM (paper §4.1). Results are cached
+// by configuration, so repeated setups of the same camera are free.
+func TrainCamera(cfg vidgen.Config, trainFrames int) (*Camera, error) {
+	if cfg.BGSeed == 0 {
+		cfg.BGSeed = cfg.Seed
+	}
+	if trainFrames <= 0 {
+		trainFrames = 1500
+	}
+	key := fmt.Sprintf("%dx%d/%v/bg%d/seed%d/tor%.3f/n%d/crowd%.2f",
+		cfg.W, cfg.H, cfg.Target, cfg.BGSeed, cfg.Seed, cfg.TOR, trainFrames, cfg.CrowdProb)
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if c, ok := cache[key]; ok {
+		return c, nil
+	}
+
+	src := vidgen.New(cfg)
+	frames := vidgen.Generate(src, trainFrames)
+	oracle := detect.NewOracle(detect.DefaultOracleConfig())
+	labeled := train.Label(frames, oracle, cfg.Target)
+
+	sdd, err := train.FitSDD(labeled)
+	if err != nil {
+		return nil, fmt.Errorf("lab: fit SDD: %w", err)
+	}
+	snm, err := train.TrainSNM(labeled, train.DefaultSNMConfig())
+	if err != nil {
+		return nil, fmt.Errorf("lab: train SNM: %w", err)
+	}
+	c := &Camera{Template: cfg, SDD: sdd, SNM: snm}
+	cache[key] = c
+	return c, nil
+}
+
+// StreamOptions tune one minted stream.
+type StreamOptions struct {
+	// Seed drives the stream's object dynamics; distinct streams from
+	// the same camera use distinct seeds (non-overlapping clips of one
+	// video, as in the paper's evaluation setup).
+	Seed int64
+	// Frames to process.
+	Frames int
+	// FilterDegree for the SNM (paper Eq. 2); 0.5 unless set via
+	// HasFilterDegree.
+	FilterDegree    float64
+	HasFilterDegree bool
+	// NumberOfObjects is the T-YOLO intensity threshold (default 1).
+	NumberOfObjects int
+	// Tolerance relaxes the T-YOLO threshold (paper §5.3.3).
+	Tolerance int
+	// TOR overrides the camera template's target-object ratio when > 0.
+	TOR float64
+}
+
+// Stream mints a pipeline.StreamSpec for this camera: a fresh frame
+// source plus fresh filter instances around the shared trained weights
+// and the shared third-stage detector (normally a *detect.TinyGrid;
+// a *detect.Compressed implements the §5.5 low-error variant).
+func (c *Camera) Stream(id int, det detect.Detector, opt StreamOptions) pipeline.StreamSpec {
+	cfg := c.Template
+	cfg.StreamID = id
+	cfg.Seed = opt.Seed
+	if cfg.Seed == 0 {
+		cfg.Seed = c.Template.Seed + int64(id)*7919 + 13
+	}
+	if opt.TOR > 0 {
+		cfg.TOR = opt.TOR
+	}
+	src := vidgen.New(cfg)
+
+	fd := 0.5
+	if opt.HasFilterDegree {
+		fd = opt.FilterDegree
+	}
+	numObj := opt.NumberOfObjects
+	if numObj <= 0 {
+		numObj = 1
+	}
+	frames := opt.Frames
+	if frames <= 0 {
+		frames = 1000
+	}
+
+	sdd := filters.NewSDD(c.SDD.Ref, c.SDD.Delta, filters.MetricMSE)
+	snm := filters.NewSNM(train.CloneNet(c.SNM.Net), c.SNM.CLow, c.SNM.CHigh, fd)
+	ty := filters.NewTYolo(det, cfg.Target, numObj)
+	ty.Tolerance = opt.Tolerance
+	if tg, ok := det.(*detect.TinyGrid); ok && tg != nil {
+		tg.SetBackground(id, src.Background())
+	}
+	return pipeline.StreamSpec{
+		ID:     id,
+		Source: src,
+		Frames: frames,
+		FPS:    cfg.FPS,
+		SDD:    sdd,
+		SNM:    snm,
+		TYolo:  ty,
+		Target: cfg.Target,
+	}
+}
+
+// CarCamera returns the cached small car-target camera (Jackson-like
+// statistics at laboratory resolution) trained and ready.
+func CarCamera(tor float64) (*Camera, error) {
+	cfg := vidgen.Small(101, frame.ClassCar, 0.30) // train at a TOR with ample positives
+	cfg.BGSeed = 101
+	cam, err := TrainCamera(cfg, 1500)
+	if err != nil {
+		return nil, err
+	}
+	// Streams minted from this camera default to the requested TOR.
+	c := *cam
+	c.Template.TOR = tor
+	return &c, nil
+}
+
+// PersonCamera returns the cached small person-target camera (Coral-like
+// statistics: crowds, high TOR).
+func PersonCamera(tor float64) (*Camera, error) {
+	cfg := vidgen.Small(202, frame.ClassPerson, 0.50)
+	cfg.BGSeed = 202
+	cam, err := TrainCamera(cfg, 1500)
+	if err != nil {
+		return nil, err
+	}
+	c := *cam
+	c.Template.TOR = tor
+	return &c, nil
+}
+
+// newZeroRand returns the deterministic source used when network
+// architecture must be rebuilt before loading saved weights.
+func newZeroRand() *rand.Rand { return rand.New(rand.NewSource(0)) }

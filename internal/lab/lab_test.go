@@ -1,0 +1,146 @@
+package lab
+
+import (
+	"bytes"
+	"testing"
+
+	"ffsva/internal/filters"
+
+	"ffsva/internal/detect"
+	"ffsva/internal/frame"
+	"ffsva/internal/vidgen"
+)
+
+func TestTrainCameraCached(t *testing.T) {
+	cfg := vidgen.Small(881, frame.ClassCar, 0.3)
+	a, err := TrainCamera(cfg, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainCamera(cfg, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identical configs must hit the cache")
+	}
+	cfg2 := cfg
+	cfg2.Seed = 882
+	c, err := TrainCamera(cfg2, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("different seed must train a different camera")
+	}
+}
+
+func TestStreamMinting(t *testing.T) {
+	cam, err := CarCamera(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := detect.NewTinyGrid(detect.DefaultTinyGridConfig())
+	s1 := cam.Stream(1, tg, StreamOptions{Seed: 10, Frames: 50})
+	s2 := cam.Stream(2, tg, StreamOptions{Seed: 20, Frames: 50})
+
+	if s1.ID != 1 || s2.ID != 2 {
+		t.Fatal("stream ids wrong")
+	}
+	if s1.SDD == s2.SDD || s1.SNM == s2.SNM || s1.TYolo == s2.TYolo {
+		t.Fatal("streams must get fresh filter instances")
+	}
+	if s1.SNM.Net == s2.SNM.Net {
+		t.Fatal("streams must get independent network clones")
+	}
+	// Same trained weights: identical predictions on identical frames.
+	f := s1.Source.Next()
+	p1 := s1.SNM.Prob(f)
+	p2 := s2.SNM.Prob(f)
+	if p1 != p2 {
+		t.Fatalf("cloned nets disagree: %v vs %v", p1, p2)
+	}
+	if s1.Target != frame.ClassCar {
+		t.Fatalf("target = %v", s1.Target)
+	}
+}
+
+func TestStreamOptionsDefaults(t *testing.T) {
+	cam, err := CarCamera(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := cam.Stream(5, nil, StreamOptions{})
+	if spec.Frames != 1000 {
+		t.Fatalf("default frames = %d", spec.Frames)
+	}
+	if spec.TYolo.NumberOfObjects != 1 {
+		t.Fatalf("default NumberOfObjects = %d", spec.TYolo.NumberOfObjects)
+	}
+	if spec.SNM.FilterDegree != 0.5 {
+		t.Fatalf("default FilterDegree = %v", spec.SNM.FilterDegree)
+	}
+}
+
+func TestTOROverride(t *testing.T) {
+	cam, err := CarCamera(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := cam.Stream(9, nil, StreamOptions{Seed: 4, Frames: 100, TOR: 0.9})
+	src := spec.Source.(*vidgen.Stream)
+	if src.Config().TOR != 0.9 {
+		t.Fatalf("TOR override not applied: %v", src.Config().TOR)
+	}
+}
+
+func TestPersonCamera(t *testing.T) {
+	cam, err := PersonCamera(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cam.Template.Target != frame.ClassPerson {
+		t.Fatalf("target = %v", cam.Template.Target)
+	}
+	if cam.SNM.TestAccuracy < 0.8 {
+		t.Fatalf("person SNM accuracy %.2f", cam.SNM.TestAccuracy)
+	}
+}
+
+func TestCameraSaveLoadRoundTrip(t *testing.T) {
+	cam, err := CarCamera(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cam.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCamera(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.SDD.Delta != cam.SDD.Delta ||
+		loaded.SNM.CLow != cam.SNM.CLow || loaded.SNM.CHigh != cam.SNM.CHigh {
+		t.Fatal("thresholds changed across save/load")
+	}
+	// Identical predictions on a real frame.
+	spec := cam.Stream(3, nil, StreamOptions{Seed: 99, Frames: 10})
+	f := spec.Source.Next()
+	a := filters.NewSNM(cam.SNM.Net, cam.SNM.CLow, cam.SNM.CHigh, 0.5).Prob(f)
+	b := filters.NewSNM(loaded.SNM.Net, loaded.SNM.CLow, loaded.SNM.CHigh, 0.5).Prob(f)
+	if a != b {
+		t.Fatalf("predictions differ after round trip: %v vs %v", a, b)
+	}
+	// The loaded camera mints working streams.
+	spec2 := loaded.Stream(4, nil, StreamOptions{Seed: 100, Frames: 10})
+	if spec2.SDD == nil || spec2.SNM == nil {
+		t.Fatal("loaded camera cannot mint streams")
+	}
+}
+
+func TestLoadCameraRejectsGarbage(t *testing.T) {
+	if _, err := LoadCamera(bytes.NewReader([]byte("not a camera"))); err == nil {
+		t.Fatal("expected error for garbage input")
+	}
+}

@@ -1,0 +1,76 @@
+package lab
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"ffsva/internal/imgproc"
+	"ffsva/internal/train"
+	"ffsva/internal/vidgen"
+)
+
+// cameraDisk is the on-disk form of a trained camera. The paper quotes
+// about an hour to train a scene's models, so persisting them matters in
+// deployment; the format is a gob container with the SNM weights in the
+// nn package's versioned binary encoding.
+type cameraDisk struct {
+	Version  int
+	Template vidgen.Config
+
+	Delta      float64
+	RefW, RefH int
+	RefPix     []uint8
+
+	CLow, CHigh, TestAccuracy float64
+	Weights                   []byte
+}
+
+const cameraVersion = 1
+
+// Save writes the camera's trained artifacts.
+func (c *Camera) Save(w io.Writer) error {
+	var weights bytes.Buffer
+	if err := c.SNM.Net.SaveWeights(&weights); err != nil {
+		return fmt.Errorf("lab: save weights: %w", err)
+	}
+	d := cameraDisk{
+		Version:  cameraVersion,
+		Template: c.Template,
+		Delta:    c.SDD.Delta,
+		RefW:     c.SDD.Ref.W, RefH: c.SDD.Ref.H,
+		RefPix: c.SDD.Ref.Pix,
+		CLow:   c.SNM.CLow, CHigh: c.SNM.CHigh, TestAccuracy: c.SNM.TestAccuracy,
+		Weights: weights.Bytes(),
+	}
+	return gob.NewEncoder(w).Encode(&d)
+}
+
+// LoadCamera restores a camera previously written by Save.
+func LoadCamera(r io.Reader) (*Camera, error) {
+	var d cameraDisk
+	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("lab: load camera: %w", err)
+	}
+	if d.Version != cameraVersion {
+		return nil, fmt.Errorf("lab: camera file version %d, want %d", d.Version, cameraVersion)
+	}
+	if d.RefW <= 0 || d.RefH <= 0 || len(d.RefPix) != d.RefW*d.RefH {
+		return nil, fmt.Errorf("lab: corrupt SDD reference (%dx%d, %d px)", d.RefW, d.RefH, len(d.RefPix))
+	}
+	ref := imgproc.NewGray(d.RefW, d.RefH)
+	copy(ref.Pix, d.RefPix)
+
+	net := train.NewSNMNet(newZeroRand())
+	if err := net.LoadWeights(bytes.NewReader(d.Weights)); err != nil {
+		return nil, fmt.Errorf("lab: load weights: %w", err)
+	}
+	return &Camera{
+		Template: d.Template,
+		SDD:      train.SDDFit{Ref: ref, Delta: d.Delta},
+		SNM: train.SNMResult{
+			Net: net, CLow: d.CLow, CHigh: d.CHigh, TestAccuracy: d.TestAccuracy,
+		},
+	}, nil
+}

@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	c.Add(5)
+	if c.Value() != 8005 {
+		t.Fatalf("counter = %d, want 8005", c.Value())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	mean := h.Mean()
+	if mean < 45*time.Millisecond || mean > 56*time.Millisecond {
+		t.Fatalf("mean = %v, want ~50.5ms", mean)
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 45*time.Millisecond || p50 > 70*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~50ms (bucket upper bound)", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 95*time.Millisecond {
+		t.Fatalf("p99 = %v, want >= 95ms", p99)
+	}
+	if h.Quantile(1) < h.Quantile(0.5) {
+		t.Fatal("quantiles not monotone")
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-5 * time.Second)
+	if h.Count() != 1 {
+		t.Fatal("negative observation lost")
+	}
+	if h.Quantile(0.5) > 10*time.Microsecond {
+		t.Fatalf("negative clamped to %v, want first bucket", h.Quantile(0.5))
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Second)
+	if h.Quantile(-1) != h.Quantile(0) {
+		t.Fatal("q<0 not clamped")
+	}
+	if h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("q>1 not clamped")
+	}
+}
+
+func TestHistogramHugeValue(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(2 * time.Hour) // beyond last bound -> overflow bucket
+	if got := h.Quantile(0.5); got != 2*time.Hour {
+		t.Fatalf("overflow quantile = %v, want max", got)
+	}
+}
+
+func TestMeterSteadyRate(t *testing.T) {
+	m := NewMeter(time.Second, 5)
+	for s := 0; s < 10; s++ {
+		m.Mark(time.Duration(s)*time.Second, 140)
+	}
+	rate := m.Rate(9 * time.Second)
+	if rate < 135 || rate > 145 {
+		t.Fatalf("rate = %v, want ~140", rate)
+	}
+}
+
+func TestMeterDecaysAfterSilence(t *testing.T) {
+	m := NewMeter(time.Second, 5)
+	m.Mark(0, 1000)
+	if r := m.Rate(time.Second); r < 150 {
+		t.Fatalf("fresh rate = %v", r)
+	}
+	// 10 s later the burst has rolled out of the 5 s window.
+	if r := m.Rate(10 * time.Second); r != 0 {
+		t.Fatalf("stale rate = %v, want 0", r)
+	}
+}
+
+func TestMeterWindowPartial(t *testing.T) {
+	m := NewMeter(time.Second, 5)
+	m.Mark(0, 100)
+	m.Mark(time.Second, 100)
+	// Window is 5s: 200 events -> 40/s.
+	if r := m.Rate(2 * time.Second); r != 40 {
+		t.Fatalf("rate = %v, want 40", r)
+	}
+}
+
+func TestMeterInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMeter(0, 5)
+}

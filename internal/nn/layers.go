@@ -1,0 +1,370 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Layer is one differentiable stage of a network. Forward caches whatever
+// Backward needs; Backward consumes the gradient w.r.t. the layer output
+// and returns the gradient w.r.t. the layer input, accumulating parameter
+// gradients along the way.
+type Layer interface {
+	Name() string
+	Forward(x *Tensor) *Tensor
+	Backward(grad *Tensor) *Tensor
+	Params() []*Param
+}
+
+// Conv2D is a 2-D convolution over NCHW tensors, implemented with im2col
+// so the inner loop is a dense matrix product.
+type Conv2D struct {
+	InC, OutC, K, Stride, Pad int
+
+	w *Param // (OutC, InC*K*K)
+	b *Param // (OutC)
+
+	lastX    *Tensor
+	lastCols []*Tensor // per-sample im2col matrices, kept for backward
+	outH     int
+	outW     int
+}
+
+// NewConv2D creates a convolution layer with He-style uniform
+// initialization drawn from rng.
+func NewConv2D(rng *rand.Rand, inC, outC, k, stride, pad int) *Conv2D {
+	if stride <= 0 || k <= 0 {
+		panic("nn: Conv2D requires positive kernel and stride")
+	}
+	c := &Conv2D{InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad}
+	c.w = newParam(outC, inC*k*k)
+	c.b = newParam(outC)
+	fanIn := float64(inC * k * k)
+	c.w.Val.fillUniform(rng, 1.7/math.Sqrt(fanIn))
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("conv%dx%d(%d->%d,s%d,p%d)", c.K, c.K, c.InC, c.OutC, c.Stride, c.Pad)
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
+
+// OutSize returns the spatial output size for an inH×inW input.
+func (c *Conv2D) OutSize(inH, inW int) (outH, outW int) {
+	outH = (inH+2*c.Pad-c.K)/c.Stride + 1
+	outW = (inW+2*c.Pad-c.K)/c.Stride + 1
+	return outH, outW
+}
+
+// im2col lowers one sample (C,H,W) into a (C*K*K, outH*outW) matrix.
+func (c *Conv2D) im2col(x []float32, inH, inW, outH, outW int) *Tensor {
+	kk := c.K * c.K
+	cols := NewTensor(c.InC*kk, outH*outW)
+	for ch := 0; ch < c.InC; ch++ {
+		chOff := ch * inH * inW
+		for ky := 0; ky < c.K; ky++ {
+			for kx := 0; kx < c.K; kx++ {
+				row := (ch*kk + ky*c.K + kx) * outH * outW
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*c.Stride + ky - c.Pad
+					dst := row + oy*outW
+					if iy < 0 || iy >= inH {
+						continue // stays zero
+					}
+					srcRow := chOff + iy*inW
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*c.Stride + kx - c.Pad
+						if ix < 0 || ix >= inW {
+							continue
+						}
+						cols.Data[dst+ox] = x[srcRow+ix]
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// Forward implements Layer for NCHW input (N, InC, H, W).
+func (c *Conv2D) Forward(x *Tensor) *Tensor {
+	if len(x.Shape) != 4 || x.Shape[1] != c.InC {
+		panic(fmt.Sprintf("nn: %s: bad input shape %v", c.Name(), x.Shape))
+	}
+	n, inH, inW := x.Shape[0], x.Shape[2], x.Shape[3]
+	outH, outW := c.OutSize(inH, inW)
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("nn: %s: input %dx%d too small", c.Name(), inH, inW))
+	}
+	c.outH, c.outW = outH, outW
+	c.lastX = x
+	c.lastCols = c.lastCols[:0]
+
+	out := NewTensor(n, c.OutC, outH, outW)
+	sampleIn := c.InC * inH * inW
+	sampleOut := c.OutC * outH * outW
+	kdim := c.InC * c.K * c.K
+	pdim := outH * outW
+	for s := 0; s < n; s++ {
+		cols := c.im2col(x.Data[s*sampleIn:(s+1)*sampleIn], inH, inW, outH, outW)
+		c.lastCols = append(c.lastCols, cols)
+		// out[oc, p] = sum_k w[oc, k] * cols[k, p] + b[oc]
+		for oc := 0; oc < c.OutC; oc++ {
+			dst := out.Data[s*sampleOut+oc*pdim : s*sampleOut+(oc+1)*pdim]
+			bias := c.b.Val.Data[oc]
+			for i := range dst {
+				dst[i] = bias
+			}
+			wRow := c.w.Val.Data[oc*kdim : (oc+1)*kdim]
+			for k := 0; k < kdim; k++ {
+				wv := wRow[k]
+				if wv == 0 {
+					continue
+				}
+				colRow := cols.Data[k*pdim : (k+1)*pdim]
+				for p, cv := range colRow {
+					dst[p] += wv * cv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *Tensor) *Tensor {
+	x := c.lastX
+	n, inH, inW := x.Shape[0], x.Shape[2], x.Shape[3]
+	outH, outW := c.outH, c.outW
+	kdim := c.InC * c.K * c.K
+	pdim := outH * outW
+	sampleIn := c.InC * inH * inW
+	sampleOut := c.OutC * pdim
+
+	dx := NewTensor(x.Shape...)
+	gradCols := NewTensor(kdim, pdim)
+	for s := 0; s < n; s++ {
+		cols := c.lastCols[s]
+		gradCols.Zero()
+		for oc := 0; oc < c.OutC; oc++ {
+			g := grad.Data[s*sampleOut+oc*pdim : s*sampleOut+(oc+1)*pdim]
+			// Bias gradient.
+			var bsum float32
+			for _, gv := range g {
+				bsum += gv
+			}
+			c.b.Grad.Data[oc] += bsum
+			// Weight gradient: dW[oc,k] += sum_p g[p] * cols[k,p]
+			// Input gradient (col space): dCols[k,p] += w[oc,k]*g[p]
+			wRow := c.w.Val.Data[oc*kdim : (oc+1)*kdim]
+			gwRow := c.w.Grad.Data[oc*kdim : (oc+1)*kdim]
+			for k := 0; k < kdim; k++ {
+				colRow := cols.Data[k*pdim : (k+1)*pdim]
+				gcRow := gradCols.Data[k*pdim : (k+1)*pdim]
+				var acc float32
+				wv := wRow[k]
+				for p, gv := range g {
+					acc += gv * colRow[p]
+					gcRow[p] += wv * gv
+				}
+				gwRow[k] += acc
+			}
+		}
+		// col2im: scatter gradCols back to input layout.
+		kk := c.K * c.K
+		dst := dx.Data[s*sampleIn:]
+		for ch := 0; ch < c.InC; ch++ {
+			chOff := ch * inH * inW
+			for ky := 0; ky < c.K; ky++ {
+				for kx := 0; kx < c.K; kx++ {
+					row := (ch*kk + ky*c.K + kx) * pdim
+					for oy := 0; oy < outH; oy++ {
+						iy := oy*c.Stride + ky - c.Pad
+						if iy < 0 || iy >= inH {
+							continue
+						}
+						src := row + oy*outW
+						dstRow := chOff + iy*inW
+						for ox := 0; ox < outW; ox++ {
+							ix := ox*c.Stride + kx - c.Pad
+							if ix < 0 || ix >= inW {
+								continue
+							}
+							dst[dstRow+ix] += gradCols.Data[src+ox]
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// ReLU is the elementwise rectifier.
+type ReLU struct {
+	lastX *Tensor
+}
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "relu" }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *Tensor) *Tensor {
+	r.lastX = x
+	out := NewTensor(x.Shape...)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *Tensor) *Tensor {
+	dx := NewTensor(grad.Shape...)
+	for i, v := range r.lastX.Data {
+		if v > 0 {
+			dx.Data[i] = grad.Data[i]
+		}
+	}
+	return dx
+}
+
+// MaxPool2 is 2×2 max pooling with stride 2 over NCHW tensors. Odd
+// trailing rows/columns are dropped, as in most frameworks' default.
+type MaxPool2 struct {
+	lastShape []int
+	argmax    []int
+}
+
+// Name implements Layer.
+func (m *MaxPool2) Name() string { return "maxpool2" }
+
+// Params implements Layer.
+func (m *MaxPool2) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (m *MaxPool2) Forward(x *Tensor) *Tensor {
+	if len(x.Shape) != 4 {
+		panic("nn: maxpool2 expects NCHW input")
+	}
+	n, ch, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := h/2, w/2
+	if oh == 0 || ow == 0 {
+		panic("nn: maxpool2 input too small")
+	}
+	m.lastShape = x.Shape
+	out := NewTensor(n, ch, oh, ow)
+	m.argmax = make([]int, out.Len())
+	for s := 0; s < n; s++ {
+		for c := 0; c < ch; c++ {
+			base := (s*ch + c) * h * w
+			obase := (s*ch + c) * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					i00 := base + (2*oy)*w + 2*ox
+					best := i00
+					if x.Data[i00+1] > x.Data[best] {
+						best = i00 + 1
+					}
+					if x.Data[i00+w] > x.Data[best] {
+						best = i00 + w
+					}
+					if x.Data[i00+w+1] > x.Data[best] {
+						best = i00 + w + 1
+					}
+					oi := obase + oy*ow + ox
+					out.Data[oi] = x.Data[best]
+					m.argmax[oi] = best
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (m *MaxPool2) Backward(grad *Tensor) *Tensor {
+	dx := NewTensor(m.lastShape...)
+	for oi, src := range m.argmax {
+		dx.Data[src] += grad.Data[oi]
+	}
+	return dx
+}
+
+// Dense is a fully connected layer. Input of any shape is flattened per
+// sample (first dimension is the batch).
+type Dense struct {
+	In, Out int
+	w       *Param // (Out, In)
+	b       *Param // (Out)
+	lastX   *Tensor
+}
+
+// NewDense creates a fully connected layer with Xavier-style uniform
+// initialization drawn from rng.
+func NewDense(rng *rand.Rand, in, out int) *Dense {
+	d := &Dense{In: in, Out: out, w: newParam(out, in), b: newParam(out)}
+	d.w.Val.fillUniform(rng, 1.7/math.Sqrt(float64(in)))
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("dense(%d->%d)", d.In, d.Out) }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *Tensor) *Tensor {
+	n := x.Shape[0]
+	if x.Len()/n != d.In {
+		panic(fmt.Sprintf("nn: %s: input %v has %d features per sample", d.Name(), x.Shape, x.Len()/n))
+	}
+	d.lastX = x
+	out := NewTensor(n, d.Out)
+	for s := 0; s < n; s++ {
+		in := x.Data[s*d.In : (s+1)*d.In]
+		for o := 0; o < d.Out; o++ {
+			wRow := d.w.Val.Data[o*d.In : (o+1)*d.In]
+			acc := d.b.Val.Data[o]
+			for i, v := range in {
+				acc += wRow[i] * v
+			}
+			out.Data[s*d.Out+o] = acc
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *Tensor) *Tensor {
+	n := grad.Shape[0]
+	dx := NewTensor(d.lastX.Shape...)
+	for s := 0; s < n; s++ {
+		in := d.lastX.Data[s*d.In : (s+1)*d.In]
+		dIn := dx.Data[s*d.In : (s+1)*d.In]
+		for o := 0; o < d.Out; o++ {
+			g := grad.Data[s*d.Out+o]
+			if g == 0 {
+				continue
+			}
+			d.b.Grad.Data[o] += g
+			wRow := d.w.Val.Data[o*d.In : (o+1)*d.In]
+			gwRow := d.w.Grad.Data[o*d.In : (o+1)*d.In]
+			for i, v := range in {
+				gwRow[i] += g * v
+				dIn[i] += g * wRow[i]
+			}
+		}
+	}
+	return dx
+}

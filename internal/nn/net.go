@@ -1,0 +1,175 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Net is an ordered stack of layers.
+type Net struct {
+	Layers []Layer
+}
+
+// NewNet builds a network from the given layers.
+func NewNet(layers ...Layer) *Net { return &Net{Layers: layers} }
+
+// Forward runs the full stack and returns the final activations (for the
+// SNM, per-sample logits of shape (N, 1)).
+func (n *Net) Forward(x *Tensor) *Tensor {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates an output gradient through the stack, accumulating
+// parameter gradients.
+func (n *Net) Backward(grad *Tensor) {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+}
+
+// Params returns every trainable parameter in layer order.
+func (n *Net) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears all accumulated gradients.
+func (n *Net) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// String describes the architecture.
+func (n *Net) String() string {
+	s := "net["
+	for i, l := range n.Layers {
+		if i > 0 {
+			s += " -> "
+		}
+		s += l.Name()
+	}
+	return s + "]"
+}
+
+// Sigmoid is the logistic function.
+func Sigmoid(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}
+
+// SigmoidBCE computes mean binary cross-entropy between sigmoid(logits)
+// and labels, together with the gradient w.r.t. the logits. Combining the
+// sigmoid with the loss keeps the gradient numerically stable
+// (grad = sigmoid(z) − y).
+func SigmoidBCE(logits *Tensor, labels []float32) (loss float64, grad *Tensor) {
+	if logits.Len() != len(labels) {
+		panic(fmt.Sprintf("nn: SigmoidBCE: %d logits vs %d labels", logits.Len(), len(labels)))
+	}
+	grad = NewTensor(logits.Shape...)
+	inv := 1 / float64(len(labels))
+	for i, z := range logits.Data {
+		y := float64(labels[i])
+		zf := float64(z)
+		// log(1+exp(-|z|)) formulation avoids overflow.
+		loss += (math.Max(zf, 0) - zf*y + math.Log1p(math.Exp(-math.Abs(zf)))) * inv
+		grad.Data[i] = float32((float64(Sigmoid(z)) - y) * inv)
+	}
+	return loss, grad
+}
+
+// SGD is stochastic gradient descent with classical momentum.
+type SGD struct {
+	LR       float32
+	Momentum float32
+	vel      map[*Param]*Tensor
+}
+
+// NewSGD returns an optimizer with the given learning rate and momentum.
+func NewSGD(lr, momentum float32) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: make(map[*Param]*Tensor)}
+}
+
+// Step applies one update to each parameter from its accumulated gradient
+// and clears the gradients.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		v, ok := s.vel[p]
+		if !ok {
+			v = NewTensor(p.Val.Shape...)
+			s.vel[p] = v
+		}
+		for i := range p.Val.Data {
+			v.Data[i] = s.Momentum*v.Data[i] - s.LR*p.Grad.Data[i]
+			p.Val.Data[i] += v.Data[i]
+			p.Grad.Data[i] = 0
+		}
+	}
+}
+
+const weightsMagic = uint32(0xFF5A0001)
+
+// SaveWeights writes all parameters to w in a versioned binary format.
+// The architecture itself is not serialized; ReadWeights must be called
+// on a structurally identical network.
+func (n *Net) SaveWeights(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.LittleEndian, weightsMagic); err != nil {
+		return err
+	}
+	params := n.Params()
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(p.Val.Len())); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, p.Val.Data); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadWeights restores parameters previously written by SaveWeights into
+// a structurally identical network.
+func (n *Net) LoadWeights(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var magic uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return err
+	}
+	if magic != weightsMagic {
+		return fmt.Errorf("nn: bad weights magic %#x", magic)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	params := n.Params()
+	if int(count) != len(params) {
+		return fmt.Errorf("nn: weights hold %d params, network has %d", count, len(params))
+	}
+	for _, p := range params {
+		var sz uint32
+		if err := binary.Read(br, binary.LittleEndian, &sz); err != nil {
+			return err
+		}
+		if int(sz) != p.Val.Len() {
+			return fmt.Errorf("nn: param size mismatch: file %d vs net %d", sz, p.Val.Len())
+		}
+		if err := binary.Read(br, binary.LittleEndian, p.Val.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}

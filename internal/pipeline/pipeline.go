@@ -1,0 +1,450 @@
+// Package pipeline implements FFS-VA's four-stage pipelined filtering
+// engine (paper §3.1): per-stream prefetch → SDD → SNM stages feeding a
+// globally shared T-YOLO stage and a final reference-model stage, all
+// decoupled by bounded feedback queues (§4.3.1), with static, feedback
+// and dynamic batch policies for the SNM (§4.3.2), and task placement on
+// modeled CPU/GPU devices.
+//
+// The same engine runs under a RealClock (real-time emulation with real
+// filter computation) or a VirtualClock (deterministic discrete-event
+// timing for the benchmark harness); filter decisions always come from
+// running the real filter algorithms over the frames.
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ffsva/internal/detect"
+	"ffsva/internal/device"
+	"ffsva/internal/filters"
+	"ffsva/internal/frame"
+	"ffsva/internal/metrics"
+	"ffsva/internal/queue"
+	"ffsva/internal/spill"
+	"ffsva/internal/vclock"
+)
+
+// Mode selects the paper's two scenarios.
+type Mode int
+
+// Analysis modes.
+const (
+	// Offline processes stored video as fast as possible.
+	Offline Mode = iota
+	// Online paces each stream at its capture FPS and must keep up.
+	Online
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Online {
+		return "online"
+	}
+	return "offline"
+}
+
+// BatchPolicy selects how the SNM stage forms batches (paper §5.4).
+type BatchPolicy int
+
+// Batch policies.
+const (
+	// BatchStatic waits for a full BatchSize using effectively unbounded
+	// queues (no feedback).
+	BatchStatic BatchPolicy = iota
+	// BatchFeedback waits for a full batch bounded by the queue depth
+	// threshold (feedback-queue mechanism alone).
+	BatchFeedback
+	// BatchDynamic drains whatever is available up to BatchSize, never
+	// waiting for a full batch (the paper's dynamic batch mechanism).
+	BatchDynamic
+)
+
+// String names the policy.
+func (b BatchPolicy) String() string {
+	switch b {
+	case BatchStatic:
+		return "static"
+	case BatchFeedback:
+		return "feedback"
+	default:
+		return "dynamic"
+	}
+}
+
+// Disposition records where a frame's journey ended.
+type Disposition int8
+
+// Frame dispositions.
+const (
+	DropSDD Disposition = iota
+	DropSNM
+	DropTYolo
+	Detected // reached and was analyzed by the reference model
+)
+
+// String names the disposition.
+func (d Disposition) String() string {
+	switch d {
+	case DropSDD:
+		return "drop-sdd"
+	case DropSNM:
+		return "drop-snm"
+	case DropTYolo:
+		return "drop-t-yolo"
+	default:
+		return "detected"
+	}
+}
+
+// Record is the per-frame outcome kept for accuracy and latency analysis.
+// It deliberately retains no pixel data.
+type Record struct {
+	// Done distinguishes a written record from a zero value.
+	Done        bool
+	Seq         int64
+	Disposition Disposition
+	Captured    time.Duration
+	Decided     time.Duration
+	// TruthCount is the ground-truth number of target objects (from the
+	// synthetic annotation); -1 when unknown.
+	TruthCount int
+	// SceneID is the ground-truth scene id (0 = none).
+	SceneID int64
+	// MaxVisible is the largest visible fraction among ground-truth
+	// target boxes, 0 when none.
+	MaxVisible float64
+	// RefCount is the reference model's target count for frames that
+	// reached it; -1 otherwise.
+	RefCount int
+}
+
+// Latency returns the frame's decision latency.
+func (r Record) Latency() time.Duration { return r.Decided - r.Captured }
+
+// FrameSource produces a stream's frames; vidgen.Stream implements it.
+type FrameSource interface {
+	Next() *frame.Frame
+}
+
+// StreamSpec is one video stream plus its specialized filters.
+type StreamSpec struct {
+	ID     int
+	Source FrameSource
+	// Frames is how many frames to process.
+	Frames int
+	// FPS paces online ingest (default 30).
+	FPS int
+	// StartAt delays the stream's first frame (cluster admission).
+	StartAt time.Duration
+
+	SDD *filters.SDD
+	SNM *filters.SNM
+	// TYolo is this stream's counting filter; its Det detector is shared
+	// across streams by construction.
+	TYolo *filters.TYolo
+	// Target is the stream's target class, used for record truth fields.
+	Target frame.Class
+	// SeqBase is the source sequence number of the stream's first frame;
+	// non-zero when a stream is a migrated continuation (cluster
+	// re-forwarding) of an earlier stream.
+	SeqBase int64
+}
+
+// Config assembles a System.
+type Config struct {
+	Clock vclock.Clock
+	Costs device.CostModel
+	// ChargeCosts enables device service-time charging. When false the
+	// pipeline is purely functional (real compute, no modeled time).
+	ChargeCosts bool
+	Mode        Mode
+	BatchPolicy BatchPolicy
+	// BatchSize is the SNM batch bound (paper default 10 in-pipeline).
+	BatchSize int
+	// Queue depth thresholds (paper §4.3.1 defaults 2/10/2).
+	DepthSDD, DepthSNM, DepthTYolo int
+	// NumTYolo caps frames taken from one stream per T-YOLO cycle
+	// (§3.2.3 inter-stream fairness).
+	NumTYolo int
+	// DepthRef bounds the reference queue.
+	DepthRef int
+	// IngestBuffer is the online capture buffer in frames: scene bursts
+	// park here while the back-end catches up, so ingest holds 30 FPS
+	// (the paper's bypass; it reports online latencies of several
+	// seconds as tolerable). Offline runs use DepthSDD instead, since
+	// stored video needs no capture buffer.
+	IngestBuffer int
+	// SpillToStorage enables the §5.5 burst remedy: when a stream's
+	// capture buffer is full, frames divert to a disk-backed spill store
+	// instead of blocking ingest, and re-inject in order once the
+	// pipeline has room. Online mode only.
+	SpillToStorage bool
+	// FilterGPUs is how many GPUs carry the filter stages (the paper's
+	// §4.3.2 note: "tasks of SNM or T-YOLO can be reasonably distributed
+	// across multiple GPUs"). Each stream's SNM is pinned to GPU
+	// (ID mod FilterGPUs); the shared T-YOLO round-robins its batches
+	// across all filter GPUs. The reference model always has its own
+	// additional GPU. Default 1, the paper's two-GPU server.
+	FilterGPUs int
+	// CPUSlots is CPU core capacity for decode/SDD/resize tasks.
+	CPUSlots int
+	// Ref is the reference model detector (shared).
+	Ref detect.Detector
+
+	// Ablation switches (not part of the paper's system; used by the
+	// ablation benches to quantify each design choice).
+
+	// DisableSDD bypasses the difference detector: every frame goes
+	// straight to the SNM.
+	DisableSDD bool
+	// DisableSNM bypasses the specialized network: every SDD survivor
+	// goes straight to T-YOLO.
+	DisableSNM bool
+	// PerStreamTYolo models one private T-YOLO per stream instead of the
+	// shared model: every T-YOLO batch pays a full model reload.
+	PerStreamTYolo bool
+	// TYoloReload is the per-batch reload charge under PerStreamTYolo
+	// (defaults to 60ms, ~1.2 GB over PCIe).
+	TYoloReload time.Duration
+}
+
+// DefaultConfig returns the paper's defaults on a fresh clock.
+func DefaultConfig(clk vclock.Clock) Config {
+	return Config{
+		Clock:       clk,
+		Costs:       device.Calibrated(),
+		ChargeCosts: true,
+		Mode:        Offline,
+		BatchPolicy: BatchDynamic,
+		BatchSize:   10,
+		DepthSDD:    2, DepthSNM: 10, DepthTYolo: 2,
+		NumTYolo: 8,
+		DepthRef: 4,
+		CPUSlots: 16,
+		Ref:      detect.NewOracle(detect.DefaultOracleConfig()),
+	}
+}
+
+func (c *Config) fill() {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 10
+	}
+	if c.DepthSDD <= 0 {
+		c.DepthSDD = 2
+	}
+	if c.DepthSNM <= 0 {
+		c.DepthSNM = 10
+	}
+	if c.DepthTYolo <= 0 {
+		c.DepthTYolo = 2
+	}
+	if c.DepthRef <= 0 {
+		c.DepthRef = 4
+	}
+	if c.NumTYolo <= 0 {
+		c.NumTYolo = 8
+	}
+	if c.CPUSlots <= 0 {
+		c.CPUSlots = 16
+	}
+	if c.IngestBuffer <= 0 {
+		c.IngestBuffer = 600 // 20 s at 30 FPS
+	}
+	if c.FilterGPUs <= 0 {
+		c.FilterGPUs = 1
+	}
+}
+
+// streamState is the per-stream runtime.
+type streamState struct {
+	spec StreamSpec
+
+	sddQ *queue.Queue[*frame.Frame]
+	snmQ *queue.Queue[*frame.Frame]
+	tyQ  *queue.Queue[*frame.Frame]
+
+	records []Record
+	spill   *spill.Store // nil unless Config.SpillToStorage
+
+	ingested  int64
+	firstCap  time.Duration
+	lastDone  time.Duration
+	ingestLag time.Duration // worst lateness vs. the capture schedule
+	curLag    time.Duration // most recent lateness (overload signal)
+	done      bool
+	stop      bool // set by StopStream; prefetch halts at next frame
+}
+
+// System is one FFS-VA instance: devices, queues, and stage processes for
+// a set of streams.
+type System struct {
+	cfg Config
+
+	cpu *device.Device
+	// filterGPUs carry SNMs and T-YOLO (paper placement: one GPU shared
+	// by all filters; more with Config.FilterGPUs).
+	filterGPUs []*device.Device
+	gpu1       *device.Device // reference model
+	disk       *device.Device // spill storage (nil unless enabled)
+
+	streams []*streamState
+	refQ    *queue.Queue[*frame.Frame]
+
+	// tyNotifies has one wake signal per T-YOLO worker (one worker per
+	// filter GPU; streams are partitioned by ID).
+	tyNotifies []*notify
+	tyLive     int // running T-YOLO workers (guarded by streamsMu)
+
+	start     time.Duration
+	end       time.Duration
+	tyMeter   *metrics.Meter
+	latency   *metrics.Histogram
+	refServed metrics.Counter
+
+	meterMu   sync.Locker // guards tyMeter
+	recMu     sync.Locker // guards per-stream record bookkeeping
+	streamsMu sync.Locker // guards streams slice after Start
+	liveMu    sync.Locker // guards liveSNM and tyLive
+
+	started bool
+	liveSNM int // SNM stages still running + holds
+}
+
+// New builds a System; Start launches its processes on the configured
+// clock.
+func New(cfg Config, specs []StreamSpec) *System {
+	cfg.fill()
+	if cfg.Clock == nil {
+		panic("pipeline: Config.Clock is required")
+	}
+	if cfg.Ref == nil {
+		panic("pipeline: Config.Ref is required")
+	}
+	if cfg.PerStreamTYolo {
+		// Inflate the T-YOLO activation charge to a full model reload;
+		// tyStage invalidates the device before each batch so it is paid
+		// every time.
+		reload := cfg.TYoloReload
+		if reload <= 0 {
+			reload = 60 * time.Millisecond
+		}
+		costs := device.CostModel{}
+		for k, v := range cfg.Costs {
+			costs[k] = v
+		}
+		c := costs[device.ModelTYolo]
+		c.Activate = reload
+		costs[device.ModelTYolo] = c
+		cfg.Costs = costs
+	}
+	s := &System{
+		cfg:     cfg,
+		cpu:     device.New(cfg.Clock, "cpu", device.CPU, cfg.CPUSlots),
+		refQ:    queue.New[*frame.Frame](cfg.Clock, "ref", cfg.DepthRef),
+		tyMeter: metrics.NewMeter(time.Second, 5),
+		latency: metrics.NewHistogram(),
+	}
+	for i := 0; i < cfg.FilterGPUs; i++ {
+		s.filterGPUs = append(s.filterGPUs, device.New(cfg.Clock, fmt.Sprintf("gpu%d", i), device.GPU, 1))
+	}
+	s.gpu1 = device.New(cfg.Clock, fmt.Sprintf("gpu%d", cfg.FilterGPUs), device.GPU, 1)
+	for i := 0; i < cfg.FilterGPUs; i++ {
+		s.tyNotifies = append(s.tyNotifies, newNotify(cfg.Clock))
+	}
+	s.meterMu = cfg.Clock.NewLocker()
+	s.recMu = cfg.Clock.NewLocker()
+	s.streamsMu = cfg.Clock.NewLocker()
+	s.liveMu = cfg.Clock.NewLocker()
+	if cfg.SpillToStorage {
+		s.disk = device.New(cfg.Clock, "ssd", device.Disk, 1)
+	}
+	for _, spec := range specs {
+		s.streams = append(s.streams, s.newStream(spec))
+	}
+	return s
+}
+
+// newStream validates a spec and builds its runtime state.
+func (s *System) newStream(spec StreamSpec) *streamState {
+	if spec.Frames <= 0 {
+		panic(fmt.Sprintf("pipeline: stream %d has no frames", spec.ID))
+	}
+	if spec.FPS <= 0 {
+		spec.FPS = 30
+	}
+	cfg := s.cfg
+	snmDepth := cfg.DepthSNM
+	if cfg.BatchPolicy == BatchStatic {
+		// Static batching has no feedback: the SNM queue must hold a
+		// full batch regardless of the depth threshold.
+		snmDepth = max(cfg.BatchSize*4, cfg.DepthSNM)
+	}
+	sddDepth := cfg.DepthSDD
+	if cfg.Mode == Online {
+		sddDepth = max(cfg.IngestBuffer, cfg.DepthSDD)
+	}
+	var store *spill.Store
+	if cfg.SpillToStorage && cfg.Mode == Online {
+		store = spill.New(cfg.Clock, s.disk, cfg.ChargeCosts)
+	}
+	return &streamState{
+		spec:    spec,
+		spill:   store,
+		sddQ:    queue.New[*frame.Frame](cfg.Clock, fmt.Sprintf("sdd[%d]", spec.ID), sddDepth),
+		snmQ:    queue.New[*frame.Frame](cfg.Clock, fmt.Sprintf("snm[%d]", spec.ID), snmDepth),
+		tyQ:     queue.New[*frame.Frame](cfg.Clock, fmt.Sprintf("ty[%d]", spec.ID), cfg.DepthTYolo),
+		records: make([]Record, spec.Frames),
+	}
+}
+
+// notify is a clock-integrated counting signal used to wake the shared
+// T-YOLO coordinator when any stream enqueues work.
+type notify struct {
+	mu interface {
+		Lock()
+		Unlock()
+	}
+	cond   vclock.Cond
+	n      int
+	closed bool
+}
+
+func newNotify(clk vclock.Clock) *notify {
+	l := clk.NewLocker()
+	return &notify{mu: l, cond: clk.NewCond(l)}
+}
+
+func (n *notify) add(k int) {
+	n.mu.Lock()
+	n.n += k
+	n.cond.Signal()
+	n.mu.Unlock()
+}
+
+func (n *notify) sub(k int) {
+	n.mu.Lock()
+	n.n -= k
+	n.mu.Unlock()
+}
+
+// wait blocks until work is pending or the signal is closed; it reports
+// whether work may remain. The n<=0 guard (rather than n==0) tolerates
+// the real-clock race where the consumer drains an item before its add
+// lands.
+func (n *notify) wait() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for n.n <= 0 && !n.closed {
+		n.cond.Wait()
+	}
+	return n.n > 0 || !n.closed
+}
+
+func (n *notify) close() {
+	n.mu.Lock()
+	n.closed = true
+	n.cond.Broadcast()
+	n.mu.Unlock()
+}

@@ -1,0 +1,188 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ffsva/internal/filters"
+)
+
+// StreamReport is the per-stream outcome summary.
+type StreamReport struct {
+	ID       int
+	Frames   int
+	Ingested int64
+	// Counts indexes by Disposition.
+	Counts [4]int64
+	// FirstCapture/LastDone bound the stream's processing interval.
+	FirstCapture, LastDone time.Duration
+	// ExecTime is LastDone − FirstCapture (Fig. 6b's per-stream
+	// execution time).
+	ExecTime time.Duration
+	// IngestLag is the worst lateness against the online capture
+	// schedule; a real-time stream keeps this near zero.
+	IngestLag time.Duration
+	// RealizedTOR is the ground-truth target-object ratio over the
+	// processed frames.
+	RealizedTOR float64
+	// SDDStats/SNMStats/TYoloStats are the stream's filter counters.
+	SDDStats, SNMStats, TYoloStats filters.Stats
+	// SpilledFrames counts frames that took the storage detour (§5.5
+	// burst remedy); zero unless SpillToStorage is enabled.
+	SpilledFrames int64
+	Records       []Record
+}
+
+// Report aggregates a finished run.
+type Report struct {
+	Mode        Mode
+	BatchPolicy BatchPolicy
+	BatchSize   int
+
+	// Elapsed is first capture to last decision across all streams.
+	Elapsed time.Duration
+	// TotalFrames is the number of frames ingested.
+	TotalFrames int64
+	// Throughput is TotalFrames / Elapsed in FPS.
+	Throughput float64
+	// PerStreamFPS is Throughput divided by the stream count.
+	PerStreamFPS float64
+
+	// Latency of frame decisions (capture → final verdict).
+	LatencyMean, LatencyP50, LatencyP95, LatencyP99, LatencyMax time.Duration
+
+	// StageProcessed counts frames entering each stage (prefetch, SDD,
+	// SNM, T-YOLO, reference), i.e. the data behind Fig. 5's
+	// per-filter execution ratios.
+	StageProcessed [5]int64
+
+	// Realtime reports whether every stream kept its online capture
+	// schedule (worst ingest lag under half a second).
+	Realtime bool
+
+	// Device accounting. GPU0Util is the first filter GPU (the paper's
+	// GPU-0); FilterGPUUtils lists all filter GPUs when FilterGPUs > 1.
+	CPUUtil, GPU0Util, GPU1Util float64
+	FilterGPUUtils              []float64
+	CPUBusy, GPU0Busy, GPU1Busy time.Duration
+	GPU0Switches                int64
+	Streams                     []StreamReport
+}
+
+// Report collects results; call only after the clock has run to
+// completion.
+func (s *System) Report() *Report {
+	r := &Report{
+		Mode:        s.cfg.Mode,
+		BatchPolicy: s.cfg.BatchPolicy,
+		BatchSize:   s.cfg.BatchSize,
+	}
+	var first, last time.Duration
+	first = -1
+	for _, st := range s.streams {
+		sr := StreamReport{
+			ID:           st.spec.ID,
+			Frames:       st.spec.Frames,
+			Ingested:     st.ingested,
+			FirstCapture: st.firstCap,
+			LastDone:     st.lastDone,
+			ExecTime:     st.lastDone - st.firstCap,
+			IngestLag:    st.ingestLag,
+			SDDStats:     st.spec.SDD.Stats(),
+			SNMStats:     st.spec.SNM.Stats(),
+			TYoloStats:   st.spec.TYolo.Stats(),
+			Records:      st.records,
+		}
+		if st.spill != nil {
+			sr.SpilledFrames = st.spill.Stats().Writes
+		}
+		torFrames := 0
+		for _, rec := range st.records {
+			sr.Counts[rec.Disposition]++
+			if rec.TruthCount > 0 {
+				torFrames++
+			}
+		}
+		if len(st.records) > 0 {
+			sr.RealizedTOR = float64(torFrames) / float64(len(st.records))
+		}
+		r.TotalFrames += st.ingested
+		if first < 0 || st.firstCap < first {
+			first = st.firstCap
+		}
+		if st.lastDone > last {
+			last = st.lastDone
+		}
+		r.StageProcessed[0] += st.ingested
+		r.StageProcessed[1] += sr.SDDStats.Processed
+		r.StageProcessed[2] += sr.SNMStats.Processed
+		r.StageProcessed[3] += sr.TYoloStats.Processed
+		r.Streams = append(r.Streams, sr)
+	}
+	r.StageProcessed[4] = s.refServed.Value()
+	if first < 0 {
+		first = 0
+	}
+	r.Elapsed = last - first
+	if r.Elapsed > 0 {
+		r.Throughput = float64(r.TotalFrames) / r.Elapsed.Seconds()
+		if n := len(s.streams); n > 0 {
+			r.PerStreamFPS = r.Throughput / float64(n)
+		}
+	}
+	r.LatencyMean = s.latency.Mean()
+	r.LatencyP50 = s.latency.Quantile(0.5)
+	r.LatencyP95 = s.latency.Quantile(0.95)
+	r.LatencyP99 = s.latency.Quantile(0.99)
+	r.LatencyMax = s.latency.Max()
+
+	r.Realtime = s.cfg.Mode == Online
+	for _, sr := range r.Streams {
+		if sr.IngestLag > 500*time.Millisecond {
+			r.Realtime = false
+		}
+	}
+
+	elapsed := r.Elapsed
+	r.CPUUtil = s.cpu.Utilization(elapsed)
+	for _, g := range s.filterGPUs {
+		r.FilterGPUUtils = append(r.FilterGPUUtils, g.Utilization(elapsed))
+	}
+	r.GPU0Util = r.FilterGPUUtils[0]
+	r.GPU1Util = s.gpu1.Utilization(elapsed)
+	r.CPUBusy = s.cpu.Stats().Busy
+	r.GPU0Busy = s.filterGPUs[0].Stats().Busy
+	r.GPU1Busy = s.gpu1.Stats().Busy
+	for _, g := range s.filterGPUs {
+		r.GPU0Switches += g.Stats().Switches
+	}
+	return r
+}
+
+// StageRatio returns the fraction of ingested frames that reached stage i
+// (0 prefetch … 4 reference), Fig. 5's per-filter execution ratio.
+func (r *Report) StageRatio(i int) float64 {
+	if r.StageProcessed[0] == 0 {
+		return 0
+	}
+	return float64(r.StageProcessed[i]) / float64(r.StageProcessed[0])
+}
+
+// String renders a human-readable summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s batch=%d: %d frames over %v = %.1f FPS (%.1f/stream)\n",
+		r.Mode, r.BatchPolicy, r.BatchSize, r.TotalFrames, r.Elapsed.Round(time.Millisecond), r.Throughput, r.PerStreamFPS)
+	fmt.Fprintf(&b, "  latency mean=%v p50=%v p95=%v p99=%v max=%v\n",
+		r.LatencyMean.Round(time.Microsecond), r.LatencyP50.Round(time.Microsecond),
+		r.LatencyP95.Round(time.Microsecond), r.LatencyP99.Round(time.Microsecond), r.LatencyMax.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  stage frames: ingest=%d sdd=%d snm=%d t-yolo=%d ref=%d\n",
+		r.StageProcessed[0], r.StageProcessed[1], r.StageProcessed[2], r.StageProcessed[3], r.StageProcessed[4])
+	fmt.Fprintf(&b, "  devices: cpu=%.1f%% gpu0=%.1f%% (switches=%d) gpu1=%.1f%%",
+		100*r.CPUUtil, 100*r.GPU0Util, r.GPU0Switches, 100*r.GPU1Util)
+	if r.Mode == Online {
+		fmt.Fprintf(&b, "\n  realtime=%v", r.Realtime)
+	}
+	return b.String()
+}

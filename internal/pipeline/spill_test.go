@@ -1,0 +1,85 @@
+package pipeline_test
+
+import (
+	"testing"
+	"time"
+
+	"ffsva/internal/device"
+	"ffsva/internal/pipeline"
+	"ffsva/internal/vclock"
+)
+
+// burstConfig cripples the reference model and shrinks the capture
+// buffer so a TOR burst must overflow it.
+func burstConfig(c *pipeline.Config) {
+	costs := device.Calibrated()
+	ref := costs[device.ModelRef]
+	ref.PerFrame = 120 * time.Millisecond
+	costs[device.ModelRef] = ref
+	c.Costs = costs
+	c.Mode = pipeline.Online
+	c.IngestBuffer = 30 // 1 s
+}
+
+func TestSpillKeepsIngestRealtime(t *testing.T) {
+	runCase := func(spillOn bool) *pipeline.Report {
+		clk := vclock.NewVirtual()
+		sys := build(t, clk, 1, 1.0, 450, func(c *pipeline.Config) {
+			burstConfig(c)
+			c.SpillToStorage = spillOn
+		})
+		return sys.Run()
+	}
+	without := runCase(false)
+	with := runCase(true)
+
+	if without.Realtime {
+		t.Fatal("overloaded run without spill should lose real-time ingest")
+	}
+	if !with.Realtime {
+		t.Fatal("spill-to-storage must keep ingest real-time through the burst")
+	}
+	if with.Streams[0].SpilledFrames == 0 {
+		t.Fatal("no frames were spilled under a forced burst")
+	}
+	// Nothing is lost: every frame still gets a decision.
+	checkConservation(t, with)
+	// The cost of spilling is latency, not capture loss.
+	if with.LatencyP99 <= without.LatencyMean {
+		t.Logf("note: with-spill p99 %v vs without mean %v", with.LatencyP99, without.LatencyMean)
+	}
+}
+
+func TestSpillPreservesFrameOrderPerStream(t *testing.T) {
+	clk := vclock.NewVirtual()
+	sys := build(t, clk, 1, 1.0, 300, func(c *pipeline.Config) {
+		burstConfig(c)
+		c.SpillToStorage = true
+	})
+	rep := sys.Run()
+	checkConservation(t, rep)
+	// SDD processes frames in capture order even across the spill
+	// detour; verify via non-decreasing decision-latency structure is
+	// impossible, so instead check every record exists exactly once
+	// (conservation) and the spill count is sane.
+	sr := rep.Streams[0]
+	if sr.SpilledFrames <= 0 || sr.SpilledFrames > int64(sr.Frames) {
+		t.Fatalf("spilled = %d of %d", sr.SpilledFrames, sr.Frames)
+	}
+}
+
+func TestSpillIdleWhenUnderCapacity(t *testing.T) {
+	clk := vclock.NewVirtual()
+	sys := build(t, clk, 1, 0.103, 300, func(c *pipeline.Config) {
+		c.Mode = pipeline.Online
+		c.SpillToStorage = true
+	})
+	rep := sys.Run()
+	checkConservation(t, rep)
+	if !rep.Realtime {
+		t.Fatal("light load should be real-time")
+	}
+	if rep.Streams[0].SpilledFrames > 10 {
+		t.Fatalf("spilled %d frames under light load", rep.Streams[0].SpilledFrames)
+	}
+}

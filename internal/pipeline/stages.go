@@ -1,0 +1,454 @@
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"ffsva/internal/detect"
+	"ffsva/internal/device"
+	"ffsva/internal/filters"
+	"ffsva/internal/frame"
+)
+
+// Start launches every stage process on the configured clock. The caller
+// then runs the clock (clk.Run()) and finally collects Report().
+func (s *System) Start() {
+	clk := s.cfg.Clock
+	s.start = clk.Now()
+	s.started = true
+	s.liveMu.Lock()
+	s.liveSNM += len(s.streams)
+	s.tyLive = len(s.tyNotifies)
+	s.liveMu.Unlock()
+	for _, st := range s.streams {
+		s.launch(st)
+	}
+	for w := range s.tyNotifies {
+		w := w
+		clk.Go(fmt.Sprintf("t-yolo[%d]", w), func() { s.tyWorker(w) })
+	}
+	clk.Go("ref", s.refStage)
+}
+
+// launch spawns the per-stream stage processes.
+func (s *System) launch(st *streamState) {
+	clk := s.cfg.Clock
+	clk.Go(fmt.Sprintf("prefetch[%d]", st.spec.ID), func() { s.prefetch(st) })
+	if st.spill != nil {
+		clk.Go(fmt.Sprintf("spill[%d]", st.spec.ID), func() { s.spillDrainer(st) })
+	}
+	clk.Go(fmt.Sprintf("sdd[%d]", st.spec.ID), func() { s.sddStage(st) })
+	clk.Go(fmt.Sprintf("snm[%d]", st.spec.ID), func() { s.snmStage(st) })
+}
+
+// spillDrainer re-injects spilled frames into the capture buffer in
+// order as room appears (§5.5 burst remedy), then closes the buffer.
+func (s *System) spillDrainer(st *streamState) {
+	for {
+		f, ok := st.spill.Read()
+		if !ok {
+			break
+		}
+		st.sddQ.Put(f)
+		st.spill.Delivered()
+	}
+	st.sddQ.Close()
+}
+
+// Hold keeps the shared stages alive while no stream is running, so a
+// manager process can add streams later (cluster admission). Every Hold
+// must be paired with a Release.
+func (s *System) Hold() {
+	s.liveMu.Lock()
+	s.liveSNM++
+	s.liveMu.Unlock()
+}
+
+// Release undoes a Hold; when the last hold and stream finish, the shared
+// stages shut down.
+func (s *System) Release() { s.snmDone() }
+
+// AddStream admits a new stream into a started system. It must be called
+// from a clock process (or before Start via New's specs).
+func (s *System) AddStream(spec StreamSpec) {
+	st := s.newStream(spec)
+	s.liveMu.Lock()
+	if s.liveSNM <= 0 {
+		s.liveMu.Unlock()
+		panic("pipeline: AddStream after shared stages shut down (missing Hold?)")
+	}
+	s.liveSNM++
+	s.liveMu.Unlock()
+	s.streamsMu.Lock()
+	s.streams = append(s.streams, st)
+	s.streamsMu.Unlock()
+	s.launch(st)
+}
+
+// StopStream halts a stream's ingest at the next frame boundary and
+// returns how many frames remain unprocessed, so a cluster manager can
+// re-forward the remainder to another instance. The second result is the
+// stream's source, which the continuation must reuse.
+func (s *System) StopStream(id int) (remaining int64, src FrameSource, nextSeq int64, ok bool) {
+	s.streamsMu.Lock()
+	defer s.streamsMu.Unlock()
+	for _, st := range s.streams {
+		if st.spec.ID == id && !st.stop {
+			s.recMu.Lock()
+			st.stop = true
+			remaining = int64(st.spec.Frames) - st.ingested
+			nextSeq = st.spec.SeqBase + st.ingested
+			s.recMu.Unlock()
+			return remaining, st.spec.Source, nextSeq, true
+		}
+	}
+	return 0, nil, 0, false
+}
+
+// snapshotStreams copies the stream list for lock-free iteration.
+func (s *System) snapshotStreams() []*streamState {
+	s.streamsMu.Lock()
+	defer s.streamsMu.Unlock()
+	return append([]*streamState(nil), s.streams...)
+}
+
+// lookupStream finds a stream by id.
+func (s *System) lookupStream(id int) *streamState {
+	s.streamsMu.Lock()
+	defer s.streamsMu.Unlock()
+	// Scan back to front so a migrated continuation with a reused id
+	// shadows its stopped predecessor.
+	for i := len(s.streams) - 1; i >= 0; i-- {
+		if s.streams[i].spec.ID == id {
+			return s.streams[i]
+		}
+	}
+	return nil
+}
+
+// Run is a convenience for sole owners of the clock: Start, run the world
+// to completion, and report.
+func (s *System) Run() *Report {
+	s.Start()
+	s.cfg.Clock.Run()
+	return s.Report()
+}
+
+// prefetch decodes frames from the source and feeds the SDD queue,
+// pacing at capture rate in online mode.
+func (s *System) prefetch(st *streamState) {
+	clk := s.cfg.Clock
+	if st.spec.StartAt > 0 {
+		clk.Sleep(st.spec.StartAt)
+	}
+	interval := time.Second / time.Duration(st.spec.FPS)
+	epoch := clk.Now()
+	for i := 0; i < st.spec.Frames; i++ {
+		s.recMu.Lock()
+		stopped := st.stop
+		s.recMu.Unlock()
+		if stopped {
+			break // stream re-forwarded elsewhere
+		}
+		target := epoch + time.Duration(i)*interval
+		if s.cfg.Mode == Online {
+			if now := clk.Now(); now < target {
+				clk.Sleep(target - now)
+			}
+		}
+		if s.cfg.ChargeCosts {
+			s.cpu.Use(device.ModelDecode, 1, s.cfg.Costs)
+		}
+		f := st.spec.Source.Next()
+		f.StreamID = st.spec.ID
+		f.Captured = clk.Now()
+		if i == 0 {
+			st.firstCap = f.Captured
+		}
+		st.ingested++
+		if st.spill != nil {
+			// Spill keeps ingest non-blocking: while spilled frames are
+			// owed, new ones must also spill to preserve order.
+			if st.spill.Pending() > 0 || !st.sddQ.TryPut(f) {
+				st.spill.Write(f)
+			}
+		} else {
+			st.sddQ.Put(f)
+		}
+		if s.cfg.Mode == Online {
+			// Lateness against the capture schedule: sustained growth
+			// means the stream is no longer analyzed in real time.
+			lag := clk.Now() - target
+			s.recMu.Lock()
+			st.curLag = lag
+			if lag > st.ingestLag {
+				st.ingestLag = lag
+			}
+			s.recMu.Unlock()
+		}
+	}
+	if st.spill != nil {
+		st.spill.Close() // the drainer closes sddQ after re-injection
+	} else {
+		st.sddQ.Close()
+	}
+}
+
+// sddStage runs the stream's difference detector on the CPU.
+func (s *System) sddStage(st *streamState) {
+	for {
+		f, ok := st.sddQ.Get()
+		if !ok {
+			break
+		}
+		if s.cfg.DisableSDD {
+			st.snmQ.Put(f)
+			continue
+		}
+		if s.cfg.ChargeCosts {
+			s.cpu.UseResize(device.ModelSDD, 1, s.cfg.Costs)
+			s.cpu.Use(device.ModelSDD, 1, s.cfg.Costs)
+		}
+		if st.spec.SDD.Process(f) == filters.Drop {
+			s.finish(st, f, DropSDD, -1)
+		} else {
+			st.snmQ.Put(f)
+		}
+	}
+	st.snmQ.Close()
+}
+
+// snmStage runs the stream's specialized network on GPU-0 in batches
+// formed according to the batch policy.
+func (s *System) snmStage(st *streamState) {
+	for {
+		var batch []*frame.Frame
+		switch s.cfg.BatchPolicy {
+		case BatchDynamic:
+			batch = st.snmQ.GetUpTo(s.cfg.BatchSize)
+		default: // BatchStatic, BatchFeedback: wait for a full batch
+			batch = st.snmQ.GetExact(s.cfg.BatchSize)
+		}
+		if len(batch) == 0 {
+			break
+		}
+		if s.cfg.DisableSNM {
+			for _, f := range batch {
+				st.tyQ.Put(f)
+				s.tyNotifyFor(st).add(1)
+			}
+			continue
+		}
+		if s.cfg.ChargeCosts {
+			s.cpu.UseResize(device.ModelSNM, len(batch), s.cfg.Costs)
+			s.snmGPU(st).Use(device.ModelSNM, len(batch), s.cfg.Costs)
+		}
+		for _, f := range batch {
+			if st.spec.SNM.Process(f) == filters.Pass {
+				st.tyQ.Put(f) // blocks at the T-YOLO depth threshold: feedback
+				s.tyNotifyFor(st).add(1)
+			} else {
+				s.finish(st, f, DropSNM, -1)
+			}
+		}
+	}
+	st.tyQ.Close()
+	s.snmDone()
+}
+
+// snmGPU returns the filter GPU a stream's SNM is pinned to.
+func (s *System) snmGPU(st *streamState) *device.Device {
+	return s.filterGPUs[st.spec.ID%len(s.filterGPUs)]
+}
+
+// tyNotifyFor returns the wake signal of the T-YOLO worker that owns a
+// stream's partition.
+func (s *System) tyNotifyFor(st *streamState) *notify {
+	return s.tyNotifies[st.spec.ID%len(s.tyNotifies)]
+}
+
+// snmDone closes the T-YOLO wake signals once the last SNM stage exits.
+func (s *System) snmDone() {
+	s.liveMu.Lock()
+	s.liveSNM--
+	last := s.liveSNM == 0
+	s.liveMu.Unlock()
+	if last {
+		for _, n := range s.tyNotifies {
+			n.close()
+		}
+	}
+}
+
+// tyDone closes the reference queue once the last T-YOLO worker exits.
+func (s *System) tyDone() {
+	s.liveMu.Lock()
+	s.tyLive--
+	last := s.tyLive == 0
+	s.liveMu.Unlock()
+	if last {
+		s.refQ.Close()
+	}
+}
+
+// tyWorker is one shared T-YOLO worker (one per filter GPU; the paper's
+// design has exactly one): it cycles over the streams of its partition,
+// draining at most NumTYolo frames from each per cycle (inter-stream
+// load balancing, §4.3.1) and forwarding qualifying frames to the
+// reference queue.
+func (s *System) tyWorker(w int) {
+	clk := s.cfg.Clock
+	k := len(s.tyNotifies)
+	note := s.tyNotifies[w]
+	for note.wait() {
+		for _, st := range s.snapshotStreams() {
+			if st.spec.ID%k != w {
+				continue
+			}
+			var batch []*frame.Frame
+			for len(batch) < s.cfg.NumTYolo {
+				f, ok := st.tyQ.TryGet()
+				if !ok {
+					break
+				}
+				batch = append(batch, f)
+			}
+			if len(batch) == 0 {
+				continue
+			}
+			note.sub(len(batch))
+			if s.cfg.ChargeCosts {
+				s.cpu.UseResize(device.ModelTYolo, len(batch), s.cfg.Costs)
+				tyGPU := s.filterGPUs[w]
+				if s.cfg.PerStreamTYolo {
+					// Each stream has its own T-YOLO: loading it evicts
+					// the previous stream's copy, so every batch pays
+					// the (inflated) activation charge on the GPU.
+					tyGPU.Invalidate()
+				}
+				tyGPU.Use(device.ModelTYolo, len(batch), s.cfg.Costs)
+			}
+			for _, f := range batch {
+				if st.spec.TYolo.Process(f) == filters.Pass {
+					s.refQ.Put(f)
+				} else {
+					s.finish(st, f, DropTYolo, -1)
+				}
+			}
+			s.meterMu.Lock()
+			s.tyMeter.Mark(clk.Now(), int64(len(batch)))
+			s.meterMu.Unlock()
+		}
+	}
+	s.tyDone()
+}
+
+// refStage is the reference model on its dedicated GPU-1.
+func (s *System) refStage() {
+	for {
+		f, ok := s.refQ.Get()
+		if !ok {
+			break
+		}
+		if s.cfg.ChargeCosts {
+			s.gpu1.Use(device.ModelRef, 1, s.cfg.Costs)
+		}
+		st := s.lookupStream(f.StreamID)
+		if st == nil {
+			continue
+		}
+		dets := s.cfg.Ref.Detect(f)
+		count := detect.Count(dets, st.spec.Target, 0.5)
+		s.refServed.Inc()
+		s.finish(st, f, Detected, count)
+	}
+	s.end = s.cfg.Clock.Now()
+}
+
+// finish records a frame's final disposition.
+func (s *System) finish(st *streamState, f *frame.Frame, d Disposition, refCount int) {
+	rec := Record{
+		Done:        true,
+		Seq:         f.Seq,
+		Disposition: d,
+		Captured:    f.Captured,
+		Decided:     s.cfg.Clock.Now(),
+		TruthCount:  -1,
+		RefCount:    refCount,
+	}
+	if f.Truth != nil {
+		rec.TruthCount = f.Truth.TargetCount(st.spec.Target)
+		rec.SceneID = f.Truth.SceneID
+		for _, b := range f.Truth.Boxes {
+			if b.Class == st.spec.Target && b.Visible > rec.MaxVisible {
+				rec.MaxVisible = b.Visible
+			}
+		}
+	}
+	s.latency.Observe(rec.Decided - rec.Captured)
+	s.recMu.Lock()
+	if idx := f.Seq - st.spec.SeqBase; idx >= 0 && idx < int64(len(st.records)) {
+		st.records[idx] = rec
+	}
+	if rec.Decided > st.lastDone {
+		st.lastDone = rec.Decided
+	}
+	st.done = true
+	s.recMu.Unlock()
+}
+
+// TYoloRate reports the shared T-YOLO stage's recent processing rate in
+// FPS over the meter window; the cluster manager compares it against the
+// paper's 140 FPS spare-capacity signal.
+func (s *System) TYoloRate() float64 {
+	s.meterMu.Lock()
+	defer s.meterMu.Unlock()
+	return s.tyMeter.Rate(s.cfg.Clock.Now())
+}
+
+// WorstBacklog reports the deepest ingest (capture-buffer) queue across
+// streams, in frames. Backlog divided by FPS is how many seconds the
+// instance is running behind; a sustained multi-second backlog is the
+// overload signal a cluster manager re-forwards on.
+func (s *System) WorstBacklog() int {
+	worst := 0
+	for _, st := range s.snapshotStreams() {
+		n := st.sddQ.Len()
+		if st.spill != nil {
+			n += st.spill.Pending()
+		}
+		if n > worst {
+			worst = n
+		}
+	}
+	return worst
+}
+
+// Overloaded reports whether any SNM or T-YOLO queue sits at its depth
+// threshold — the paper's instance-overload signal (§4.3.1). Because
+// queues legitimately touch their thresholds in bursts, managers should
+// combine this with WorstLag for a sustained signal.
+func (s *System) Overloaded() bool {
+	for _, st := range s.snapshotStreams() {
+		if st.snmQ.Full() || st.tyQ.Full() {
+			return true
+		}
+	}
+	return false
+}
+
+// WorstLag reports the worst current ingest lateness across the
+// instance's online streams: the definitive "no longer real-time"
+// signal a cluster manager acts on.
+func (s *System) WorstLag() time.Duration {
+	var worst time.Duration
+	streams := s.snapshotStreams()
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
+	for _, st := range streams {
+		if !st.stop && st.curLag > worst {
+			worst = st.curLag
+		}
+	}
+	return worst
+}

@@ -1,0 +1,42 @@
+package queue
+
+import (
+	"testing"
+
+	"ffsva/internal/vclock"
+)
+
+func BenchmarkPutGetRealClock(b *testing.B) {
+	clk := vclock.NewReal()
+	q := New[int](clk, "bench", 64)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q.TryPut(1)
+			q.TryGet()
+		}
+	})
+}
+
+func BenchmarkVirtualPipelineHop(b *testing.B) {
+	// One producer/consumer hop per item under the virtual scheduler;
+	// measures the cooperative context-switch cost that bounds simulated
+	// pipeline speed.
+	clk := vclock.NewVirtual()
+	q := New[int](clk, "bench", 8)
+	n := b.N
+	clk.Go("producer", func() {
+		for i := 0; i < n; i++ {
+			q.Put(i)
+		}
+		q.Close()
+	})
+	clk.Go("consumer", func() {
+		for {
+			if _, ok := q.Get(); !ok {
+				return
+			}
+		}
+	})
+	b.ResetTimer()
+	clk.Run()
+}

@@ -1,0 +1,236 @@
+// Package queue provides the bounded inter-stage queues that pipeline
+// FFS-VA's filters (paper §3.1.2) and carry its global feedback-queue
+// mechanism (§4.3.1): every queue has a depth threshold, and a producer
+// blocked on a full queue is precisely the paper's "the SNM thread
+// automatically slows down or even gets blocked" behaviour. Queues are
+// clock-aware, so the same code runs under real goroutines or the
+// deterministic virtual scheduler.
+package queue
+
+import (
+	"fmt"
+	"sync"
+
+	"ffsva/internal/vclock"
+)
+
+// Stats is a snapshot of queue accounting.
+type Stats struct {
+	Puts     int64
+	Gets     int64
+	MaxDepth int
+	// BlockedPuts counts Put calls that had to wait for space — the
+	// feedback signal propagating upstream.
+	BlockedPuts int64
+}
+
+// Queue is a bounded FIFO of items with clock-integrated blocking.
+type Queue[T any] struct {
+	name string
+	cap  int
+
+	mu    sync.Locker
+	avail vclock.Cond // signaled when items are added or queue closes
+	space vclock.Cond // signaled when items are removed or queue closes
+
+	items  []T
+	closed bool
+	stats  Stats
+}
+
+// New creates a queue holding at most capacity items. The capacity is the
+// paper's queue-depth threshold: producers block at it.
+func New[T any](clk vclock.Clock, name string, capacity int) *Queue[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("queue: %s: non-positive capacity", name))
+	}
+	q := &Queue[T]{name: name, cap: capacity, mu: clk.NewLocker()}
+	q.avail = clk.NewCond(q.mu)
+	q.space = clk.NewCond(q.mu)
+	return q
+}
+
+// Name returns the queue's diagnostic name.
+func (q *Queue[T]) Name() string { return q.name }
+
+// Cap returns the depth threshold.
+func (q *Queue[T]) Cap() int { return q.cap }
+
+// Len returns the current depth.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Full reports whether the queue is at its depth threshold.
+func (q *Queue[T]) Full() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items) >= q.cap
+}
+
+// Stats returns accumulated accounting.
+func (q *Queue[T]) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
+}
+
+// Put appends x, blocking while the queue is full. It returns false when
+// the queue was closed (item discarded).
+func (q *Queue[T]) Put(x T) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	blocked := false
+	for len(q.items) >= q.cap && !q.closed {
+		blocked = true
+		q.space.Wait()
+	}
+	if q.closed {
+		return false
+	}
+	if blocked {
+		q.stats.BlockedPuts++
+	}
+	q.items = append(q.items, x)
+	q.stats.Puts++
+	if len(q.items) > q.stats.MaxDepth {
+		q.stats.MaxDepth = len(q.items)
+	}
+	q.avail.Signal()
+	return true
+}
+
+// TryPut appends x only if space is available, never blocking. It returns
+// false when full or closed.
+func (q *Queue[T]) TryPut(x T) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || len(q.items) >= q.cap {
+		return false
+	}
+	q.items = append(q.items, x)
+	q.stats.Puts++
+	if len(q.items) > q.stats.MaxDepth {
+		q.stats.MaxDepth = len(q.items)
+	}
+	q.avail.Signal()
+	return true
+}
+
+// Get removes and returns the oldest item, blocking while the queue is
+// empty. ok is false once the queue is closed and drained.
+func (q *Queue[T]) Get() (x T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.avail.Wait()
+	}
+	if len(q.items) == 0 {
+		return x, false
+	}
+	return q.pop(), true
+}
+
+// TryGet removes the oldest item without blocking; ok is false when
+// empty.
+func (q *Queue[T]) TryGet() (x T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return x, false
+	}
+	return q.pop(), true
+}
+
+// GetUpTo removes up to n items, blocking until at least one is available
+// or the queue is closed and drained. This is the dynamic-batch drain
+// (paper §4.3.2): take what is there, never wait for a full batch.
+func (q *Queue[T]) GetUpTo(n int) []T {
+	if n <= 0 {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.avail.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil
+	}
+	if n > len(q.items) {
+		n = len(q.items)
+	}
+	out := make([]T, n)
+	for i := range out {
+		out[i] = q.pop()
+	}
+	return out
+}
+
+// GetExact removes exactly n items, blocking until n are available; if
+// the queue closes first it returns whatever remains. This is the
+// static-batch drain: wait for a full batch.
+func (q *Queue[T]) GetExact(n int) []T {
+	if n <= 0 {
+		return nil
+	}
+	// A batch larger than the depth threshold can never fill (producers
+	// block at the threshold — the paper calls this out in §4.3.2), so
+	// clamp instead of deadlocking.
+	if n > q.cap {
+		n = q.cap
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) < n && !q.closed {
+		q.avail.Wait()
+	}
+	if n > len(q.items) {
+		n = len(q.items)
+	}
+	out := make([]T, n)
+	for i := range out {
+		out[i] = q.pop()
+	}
+	return out
+}
+
+// pop removes the head; callers hold the lock and guarantee non-empty.
+func (q *Queue[T]) pop() T {
+	x := q.items[0]
+	var zero T
+	q.items[0] = zero // release reference
+	q.items = q.items[1:]
+	q.stats.Gets++
+	q.space.Signal()
+	return x
+}
+
+// Close marks the queue closed: pending and future Puts fail, consumers
+// drain the remainder and then receive ok=false.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.avail.Broadcast()
+	q.space.Broadcast()
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
+// Drained reports whether the queue is closed and empty.
+func (q *Queue[T]) Drained() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed && len(q.items) == 0
+}

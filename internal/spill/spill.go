@@ -1,0 +1,134 @@
+// Package spill implements the paper's §5.5 remedy for sudden TOR
+// bursts: "we can temporarily store these video frames in the storage
+// system, to be processed later". A Store is a clock-aware, unbounded,
+// disk-backed overflow buffer. When a stream's capture buffer fills, the
+// prefetcher diverts frames to the store (paying a storage write) instead
+// of blocking, and a drainer re-injects them — in order — once the
+// pipeline has room. Ingest therefore never stalls; the burst shows up as
+// latency, not as lost real-time capture.
+package spill
+
+import (
+	"sync"
+	"time"
+
+	"ffsva/internal/device"
+	"ffsva/internal/frame"
+	"ffsva/internal/vclock"
+)
+
+// Cost of moving one frame to or from storage. At a few hundred KB per
+// encoded frame and NVMe-class bandwidth this is well under a millisecond
+// — an order of magnitude cheaper than any GPU stage.
+const (
+	WriteCost = 350 * time.Microsecond
+	ReadCost  = 350 * time.Microsecond
+)
+
+// Stats is a snapshot of store accounting.
+type Stats struct {
+	Writes   int64
+	Reads    int64
+	MaxDepth int
+}
+
+// Store is one stream's overflow buffer. All streams of a System share
+// one storage device, so concurrent spills contend for disk bandwidth.
+type Store struct {
+	clk    vclock.Clock
+	disk   *device.Device
+	charge bool
+
+	mu    sync.Locker
+	avail vclock.Cond
+
+	q        []*frame.Frame
+	inFlight int // frames popped by the drainer but not yet re-injected
+	closed   bool
+	stats    Stats
+}
+
+// New creates a store backed by the given storage device (nil disables
+// cost charging regardless of charge).
+func New(clk vclock.Clock, disk *device.Device, charge bool) *Store {
+	s := &Store{clk: clk, disk: disk, charge: charge && disk != nil}
+	s.mu = clk.NewLocker()
+	s.avail = clk.NewCond(s.mu)
+	return s
+}
+
+// Write appends a frame to the store, paying the storage write cost.
+func (s *Store) Write(f *frame.Frame) {
+	if s.charge {
+		s.disk.Use(device.ModelSpill, 1, spillCosts)
+	}
+	s.mu.Lock()
+	s.q = append(s.q, f)
+	s.stats.Writes++
+	if d := len(s.q) + s.inFlight; d > s.stats.MaxDepth {
+		s.stats.MaxDepth = d
+	}
+	s.avail.Signal()
+	s.mu.Unlock()
+}
+
+// Read removes the oldest frame, blocking until one is available; ok is
+// false once the store is closed and drained. The caller must call
+// Delivered after the frame has been re-injected downstream, so Pending
+// stays accurate for ordering decisions.
+func (s *Store) Read() (f *frame.Frame, ok bool) {
+	s.mu.Lock()
+	for len(s.q) == 0 && !s.closed {
+		s.avail.Wait()
+	}
+	if len(s.q) == 0 {
+		s.mu.Unlock()
+		return nil, false
+	}
+	f = s.q[0]
+	s.q[0] = nil
+	s.q = s.q[1:]
+	s.inFlight++
+	s.stats.Reads++
+	s.mu.Unlock()
+	if s.charge {
+		s.disk.Use(device.ModelSpill, 1, spillCosts)
+	}
+	return f, true
+}
+
+// Delivered marks one read frame as re-injected downstream.
+func (s *Store) Delivered() {
+	s.mu.Lock()
+	s.inFlight--
+	s.mu.Unlock()
+}
+
+// Pending counts frames still owed to the pipeline (queued plus in
+// flight). While Pending is non-zero, new frames must also spill or they
+// would overtake the stored ones.
+func (s *Store) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.q) + s.inFlight
+}
+
+// Close marks the end of input; readers drain the remainder.
+func (s *Store) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.avail.Broadcast()
+	s.mu.Unlock()
+}
+
+// Stats returns accumulated accounting.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// spillCosts prices the storage transfers.
+var spillCosts = device.CostModel{
+	device.ModelSpill: {PerFrame: WriteCost},
+}

@@ -1,0 +1,167 @@
+package train
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ffsva/internal/detect"
+	"ffsva/internal/filters"
+	"ffsva/internal/frame"
+	"ffsva/internal/nn"
+)
+
+// MultiLabeled is one training frame with per-class reference labels,
+// for the paper's §5.5 multiple-target-objects case ("the structure of
+// the specialized network model only needs to be changed to support the
+// identification of all the target objects").
+type MultiLabeled struct {
+	F *frame.Frame
+	// Has[i] is true when the reference model found class classes[i].
+	Has []bool
+	// Empty is true when the reference model found nothing at all.
+	Empty bool
+}
+
+// LabelMulti runs the reference model and attaches one label per class.
+func LabelMulti(frames []*frame.Frame, ref detect.Detector, classes []frame.Class) []MultiLabeled {
+	out := make([]MultiLabeled, len(frames))
+	for i, f := range frames {
+		dets := ref.Detect(f)
+		has := make([]bool, len(classes))
+		for j, c := range classes {
+			has[j] = detect.Count(dets, c, 0.5) > 0
+		}
+		out[i] = MultiLabeled{F: f, Has: has, Empty: len(dets) == 0}
+	}
+	return out
+}
+
+// MultiSNMResult is a trained multi-output SNM with per-class thresholds.
+type MultiSNMResult struct {
+	Net     *nn.Net
+	Classes []frame.Class
+	// CLow/CHigh are per-class threshold bands.
+	CLow, CHigh []float64
+	// TestAccuracy is the per-class held-out accuracy.
+	TestAccuracy []float64
+}
+
+// NewMultiSNMNet builds the SNM topology with one output logit per class.
+func NewMultiSNMNet(rng *rand.Rand, classes int) *nn.Net {
+	c1 := nn.NewConv2D(rng, 1, 6, 5, 3, 2)
+	h1, w1 := c1.OutSize(filters.SNMSize, filters.SNMSize)
+	c2 := nn.NewConv2D(rng, 6, 12, 3, 2, 1)
+	h2, w2 := c2.OutSize(h1, w1)
+	return nn.NewNet(c1, &nn.ReLU{}, c2, &nn.ReLU{}, nn.NewDense(rng, 12*h2*w2, classes))
+}
+
+// TrainMultiSNM trains a multi-label SNM: one sigmoid output per class,
+// binary cross-entropy summed across classes, thresholds selected per
+// class on the held-out split exactly as in the single-target procedure.
+func TrainMultiSNM(labeled []MultiLabeled, classes []frame.Class, cfg SNMConfig) (MultiSNMResult, error) {
+	if len(classes) == 0 {
+		return MultiSNMResult{}, fmt.Errorf("train: no classes")
+	}
+	if cfg.BatchSize <= 0 || cfg.Epochs <= 0 {
+		return MultiSNMResult{}, fmt.Errorf("train: invalid config %+v", cfg)
+	}
+	k := len(classes)
+	type sample struct {
+		x   *nn.Tensor
+		has []bool
+	}
+	var trainSet, testSet []sample
+	for i, l := range labeled {
+		if len(l.Has) != k {
+			return MultiSNMResult{}, fmt.Errorf("train: label arity %d != classes %d", len(l.Has), k)
+		}
+		s := sample{x: filters.Input(l.F), has: l.Has}
+		if float64(i%100)/100 < cfg.TestFraction {
+			testSet = append(testSet, s)
+		} else {
+			trainSet = append(trainSet, s)
+		}
+	}
+	// Per-class pools for balanced sampling; the negative pool holds
+	// frames with no class at all.
+	pools := make([][]sample, k+1)
+	for _, s := range trainSet {
+		any := false
+		for j, h := range s.has {
+			if h {
+				pools[j] = append(pools[j], s)
+				any = true
+			}
+		}
+		if !any {
+			pools[k] = append(pools[k], s)
+		}
+	}
+	for j := 0; j <= k; j++ {
+		if len(pools[j]) == 0 {
+			return MultiSNMResult{}, fmt.Errorf("train: class pool %d empty", j)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net := NewMultiSNMNet(rng, k)
+	opt := nn.NewSGD(cfg.LR, cfg.Momentum)
+	inLen := filters.SNMSize * filters.SNMSize
+	steps := cfg.Epochs * (len(trainSet) + cfg.BatchSize - 1) / cfg.BatchSize
+	for step := 0; step < steps; step++ {
+		xb := nn.NewTensor(cfg.BatchSize, 1, filters.SNMSize, filters.SNMSize)
+		yb := make([]float32, cfg.BatchSize*k)
+		for s := 0; s < cfg.BatchSize; s++ {
+			pool := pools[s%(k+1)] // rotate pools for balance
+			smp := pool[rng.Intn(len(pool))]
+			copy(xb.Data[s*inLen:], smp.x.Data)
+			for j, h := range smp.has {
+				if h {
+					yb[s*k+j] = 1
+				}
+			}
+		}
+		logits := net.Forward(xb)
+		_, grad := nn.SigmoidBCE(logits, yb)
+		net.Backward(grad)
+		opt.Step(net.Params())
+	}
+
+	res := MultiSNMResult{
+		Net: net, Classes: append([]frame.Class(nil), classes...),
+		CLow: make([]float64, k), CHigh: make([]float64, k),
+		TestAccuracy: make([]float64, k),
+	}
+	if len(testSet) == 0 {
+		return MultiSNMResult{}, fmt.Errorf("train: empty test split")
+	}
+	pos := make([][]float64, k)
+	neg := make([][]float64, k)
+	correct := make([]int, k)
+	for _, s := range testSet {
+		out := net.Forward(s.x)
+		for j := 0; j < k; j++ {
+			p := float64(nn.Sigmoid(out.Data[j]))
+			if s.has[j] {
+				pos[j] = append(pos[j], p)
+			} else {
+				neg[j] = append(neg[j], p)
+			}
+			if (p > 0.5) == s.has[j] {
+				correct[j]++
+			}
+		}
+	}
+	for j := 0; j < k; j++ {
+		res.TestAccuracy[j] = float64(correct[j]) / float64(len(testSet))
+		lo, hi := 0.25, 0.75
+		if len(pos[j]) > 0 {
+			lo = quantile(pos[j], 0.02)
+		}
+		if len(neg[j]) > 0 {
+			hi = quantile(neg[j], 0.98)
+		}
+		res.CLow[j], res.CHigh[j] = min(lo, hi), max(lo, hi)
+	}
+	return res, nil
+}

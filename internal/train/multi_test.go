@@ -1,0 +1,136 @@
+package train
+
+import (
+	"testing"
+
+	"ffsva/internal/detect"
+	"ffsva/internal/filters"
+	"ffsva/internal/frame"
+	"ffsva/internal/vidgen"
+)
+
+// mixedStream produces car scenes where ~40% of objects are buses.
+func mixedStream(seed int64, tor float64) vidgen.Config {
+	cfg := vidgen.Small(seed, frame.ClassCar, tor)
+	cfg.SecondaryClass = frame.ClassBus
+	cfg.MixProb = 0.4
+	cfg.DistractorProb = 0
+	return cfg
+}
+
+func makeMultiLabeled(t *testing.T, cfg vidgen.Config, n int, classes []frame.Class) []MultiLabeled {
+	t.Helper()
+	s := vidgen.New(cfg)
+	frames := vidgen.Generate(s, n)
+	oracle := detect.NewOracle(detect.DefaultOracleConfig())
+	return LabelMulti(frames, oracle, classes)
+}
+
+func TestLabelMultiAgreesWithTruth(t *testing.T) {
+	classes := []frame.Class{frame.ClassCar, frame.ClassBus}
+	labeled := makeMultiLabeled(t, mixedStream(61, 0.4), 1000, classes)
+	sawBus, sawCar := false, false
+	agree := 0
+	for _, l := range labeled {
+		okCar := l.Has[0] == (l.F.Truth.TargetCount(frame.ClassCar) > 0)
+		okBus := l.Has[1] == (l.F.Truth.TargetCount(frame.ClassBus) > 0)
+		if okCar && okBus {
+			agree++
+		}
+		if l.Has[1] {
+			sawBus = true
+		}
+		if l.Has[0] {
+			sawCar = true
+		}
+	}
+	if !sawBus || !sawCar {
+		t.Fatal("mixed stream did not produce both classes")
+	}
+	if rate := float64(agree) / float64(len(labeled)); rate < 0.95 {
+		t.Fatalf("multi-label agreement %.3f", rate)
+	}
+}
+
+func TestTrainMultiSNM(t *testing.T) {
+	classes := []frame.Class{frame.ClassCar, frame.ClassBus}
+	labeled := makeMultiLabeled(t, mixedStream(62, 0.45), 1600, classes)
+	res, err := TrainMultiSNM(labeled, classes, DefaultSNMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, acc := range res.TestAccuracy {
+		if acc < 0.7 {
+			t.Errorf("class %v held-out accuracy %.2f, want >= 0.7", classes[j], acc)
+		}
+		if res.CLow[j] > res.CHigh[j] {
+			t.Errorf("class %v thresholds inverted", classes[j])
+		}
+	}
+
+	// The multi filter must keep frames containing either class.
+	msnm := filters.NewMultiSNM(res.Net, res.CLow, res.CHigh, 0.5)
+	valCfg := mixedStream(63, 0.45)
+	valCfg.BGSeed = 62
+	val := vidgen.New(valCfg)
+	kept, total := 0, 0
+	bgDropped, bgTotal := 0, 0
+	for i := 0; i < 800; i++ {
+		f := val.Next()
+		hasAny := f.Truth.TargetCount(frame.ClassCar) > 0 || f.Truth.TargetCount(frame.ClassBus) > 0
+		solid := false
+		for _, b := range f.Truth.Boxes {
+			if b.Visible >= 0.6 {
+				solid = true
+			}
+		}
+		v := msnm.Process(f)
+		if hasAny && solid {
+			total++
+			if v == filters.Pass {
+				kept++
+			}
+		} else if len(f.Truth.Boxes) == 0 {
+			bgTotal++
+			if v == filters.Drop {
+				bgDropped++
+			}
+		}
+	}
+	if total < 100 || bgTotal < 100 {
+		t.Fatalf("degenerate validation: targets=%d bg=%d", total, bgTotal)
+	}
+	if rate := float64(kept) / float64(total); rate < 0.8 {
+		t.Errorf("multi-SNM kept only %.2f of either-class frames", rate)
+	}
+	if rate := float64(bgDropped) / float64(bgTotal); rate < 0.6 {
+		t.Errorf("multi-SNM dropped only %.2f of background", rate)
+	}
+	if probs := msnm.LastProbs(); len(probs) != 2 {
+		t.Fatalf("LastProbs len = %d", len(probs))
+	}
+}
+
+func TestTrainMultiSNMValidation(t *testing.T) {
+	classes := []frame.Class{frame.ClassCar}
+	if _, err := TrainMultiSNM(nil, nil, DefaultSNMConfig()); err == nil {
+		t.Fatal("expected error for no classes")
+	}
+	labeled := makeMultiLabeled(t, mixedStream(64, 0.0), 200, classes)
+	// All-negative corpus: car pool empty.
+	for i := range labeled {
+		labeled[i].Has[0] = false
+	}
+	if _, err := TrainMultiSNM(labeled, classes, DefaultSNMConfig()); err == nil {
+		t.Fatal("expected error for empty class pool")
+	}
+}
+
+func TestMultiSNMThresholdValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched threshold bands")
+		}
+	}()
+	filters.NewMultiSNM(nil, []float64{0.1}, []float64{0.2, 0.3}, 0.5)
+}

@@ -1,0 +1,103 @@
+// Package vclock provides the time and process-scheduling abstraction used
+// by every timed component of FFS-VA.
+//
+// Two implementations exist:
+//
+//   - RealClock: wall-clock time and ordinary goroutines. Used when the
+//     pipeline performs real computation in real time (examples, functional
+//     tests).
+//   - VirtualClock: a deterministic, cooperative discrete-event scheduler.
+//     Used by the benchmark harness to reproduce the paper's GPU-scale
+//     throughput and latency numbers on any host, independent of the
+//     machine the reproduction runs on.
+//
+// Code written against Clock (queues, devices, pipeline stages) runs
+// unchanged under either implementation.
+package vclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time, sleeping, process creation and synchronization.
+//
+// Processes are created with Go and coordinate through Cond variables
+// created by NewCond. Run starts the world and blocks until every process
+// has returned.
+type Clock interface {
+	// Now reports the current time as an offset from the clock epoch.
+	Now() time.Duration
+
+	// Sleep suspends the calling process for d. Under a VirtualClock it
+	// must only be called from a process started with Go.
+	Sleep(d time.Duration)
+
+	// Go registers a new process. Under a RealClock the function runs as
+	// an ordinary goroutine; under a VirtualClock it runs cooperatively.
+	// The name is used in diagnostics (e.g. deadlock reports).
+	Go(name string, fn func())
+
+	// NewLocker returns a mutual-exclusion lock appropriate for the
+	// clock: a real mutex for RealClock, a no-op for the cooperative
+	// VirtualClock (where at most one process runs at a time).
+	NewLocker() sync.Locker
+
+	// NewCond returns a condition variable bound to l.
+	NewCond(l sync.Locker) Cond
+
+	// Run starts the clock and blocks until all processes have finished.
+	Run()
+
+	// IsVirtual reports whether time is simulated.
+	IsVirtual() bool
+}
+
+// Cond is the subset of sync.Cond semantics the pipeline needs. Waiters
+// must re-check their predicate in a loop: spurious wakeups are permitted
+// by both implementations.
+type Cond interface {
+	Wait()
+	Signal()
+	Broadcast()
+}
+
+// RealClock implements Clock over wall time and goroutines.
+type RealClock struct {
+	start time.Time
+	wg    sync.WaitGroup
+}
+
+// NewReal returns a Clock backed by wall time; its epoch is the moment of
+// the call.
+func NewReal() *RealClock {
+	return &RealClock{start: time.Now()}
+}
+
+// Now reports wall time elapsed since the clock was created.
+func (c *RealClock) Now() time.Duration { return time.Since(c.start) }
+
+// Sleep pauses the calling goroutine for d.
+func (c *RealClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Go runs fn on a new goroutine tracked by Run.
+func (c *RealClock) Go(name string, fn func()) {
+	_ = name
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		fn()
+	}()
+}
+
+// NewLocker returns a fresh mutex.
+func (c *RealClock) NewLocker() sync.Locker { return &sync.Mutex{} }
+
+// NewCond returns a condition variable backed by sync.Cond.
+func (c *RealClock) NewCond(l sync.Locker) Cond { return sync.NewCond(l) }
+
+// Run blocks until every process started with Go has returned.
+func (c *RealClock) Run() { c.wg.Wait() }
+
+// IsVirtual reports false: RealClock time is wall time.
+func (c *RealClock) IsVirtual() bool { return false }

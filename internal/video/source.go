@@ -1,0 +1,54 @@
+package video
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"ffsva/internal/frame"
+)
+
+// FileSource adapts a stored video file to the pipeline's FrameSource.
+// The pipeline pulls exactly StreamSpec.Frames frames, which must not
+// exceed the file's frame count (use Header().Frames).
+type FileSource struct {
+	f  *os.File
+	r  *Reader
+	id int
+}
+
+// OpenFile opens a stored video for streaming into the pipeline.
+func OpenFile(path string, streamID int) (*FileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileSource{f: f, r: r, id: streamID}, nil
+}
+
+// Header returns the file's stream metadata.
+func (s *FileSource) Header() Header { return s.r.Header() }
+
+// Next implements pipeline.FrameSource. Reading past the end of the file
+// panics: the pipeline is configured with the frame count up front, so
+// over-reading is a programming error, and FrameSource has no error
+// channel by design (synthetic sources are infinite).
+func (s *FileSource) Next() *frame.Frame {
+	f, err := s.r.Next()
+	if err == io.EOF {
+		panic(fmt.Sprintf("video: stream %d read past end of file", s.id))
+	}
+	if err != nil {
+		panic(fmt.Sprintf("video: stream %d: %v", s.id, err))
+	}
+	f.StreamID = s.id
+	return f
+}
+
+// Close releases the underlying file.
+func (s *FileSource) Close() error { return s.f.Close() }

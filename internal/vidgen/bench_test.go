@@ -1,0 +1,24 @@
+package vidgen
+
+import (
+	"testing"
+
+	"ffsva/internal/frame"
+)
+
+func BenchmarkNextSmall(b *testing.B) {
+	s := New(Small(1, frame.ClassCar, 0.2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Next()
+	}
+}
+
+func BenchmarkNextJackson(b *testing.B) {
+	s := New(Jackson(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Next()
+	}
+}

@@ -1,0 +1,588 @@
+// Package vidgen synthesizes deterministic surveillance-style video
+// streams with embedded ground truth. It substitutes for the paper's
+// Jackson and Coral evaluation videos (Table 1), which cannot be shipped:
+// the generator reproduces the statistical structure FFS-VA's filters
+// depend on — a fixed-viewpoint background with slow illumination drift
+// and sensor noise, rare target-object scenes of contiguous frames,
+// partial appearances at frame edges, objects that stop and wait
+// mid-scene, and dense crowds whose members merge at detector resolution.
+//
+// The target-object ratio (TOR, paper Eq. 1) is a controlled input: a
+// closed-loop scheduler adjusts inter-scene gaps so the realized TOR
+// converges to the configured target, which is exactly the knob the
+// paper's evaluation sweeps.
+package vidgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ffsva/internal/frame"
+	"ffsva/internal/imgproc"
+)
+
+// Config describes one synthetic stream.
+type Config struct {
+	Seed int64
+	// BGSeed selects the background (the "camera viewpoint")
+	// independently of Seed, which drives object dynamics. Streams with
+	// equal BGSeed share a background, mirroring the paper's method of
+	// extracting multiple non-overlapping clips from one video; zero
+	// means "derive from Seed".
+	BGSeed   int64
+	StreamID int
+	W, H     int
+	FPS      int
+	// Target is the user-defined target-object class for this stream.
+	Target frame.Class
+	// TOR is the desired fraction of frames containing at least one
+	// target object, in [0, 1].
+	TOR float64
+	// MeanSceneFrames is the mean length of a target-object scene.
+	MeanSceneFrames int
+	// MaxObjects bounds concurrent target objects in an ordinary scene.
+	MaxObjects int
+	// CrowdProb is the probability a scene is a dense crowd of small
+	// targets (several overlapping objects, as in the Coral video).
+	CrowdProb float64
+	// CrowdSize is the number of objects in a crowd scene.
+	CrowdSize int
+	// StopProb is the probability a target pauses soon after entering,
+	// while still partially outside the frame — the paper's
+	// "vehicle waiting at a traffic light" false-negative source.
+	StopProb float64
+	// StopFrames is the mean pause length in frames.
+	StopFrames int
+	// DistractorProb is the per-spawn probability of an additional
+	// non-target moving object (detectable motion that SNM must reject).
+	DistractorProb float64
+	// LightAmp and LightPeriod define sinusoidal illumination drift
+	// (levels of gray, frames per cycle). Zero amplitude disables it.
+	LightAmp    float64
+	LightPeriod int
+	// NoiseAmp is the peak-to-peak sensor noise in gray levels.
+	NoiseAmp int
+	// MinSizeFrac and MaxSizeFrac bound target height as a fraction of
+	// the frame height.
+	MinSizeFrac, MaxSizeFrac float64
+	// SceneSwitchFrame, when positive, replaces the background at that
+	// frame index with one derived from SceneSwitchBGSeed — the paper's
+	// §5.5 "function and position of the camera have changed" case that
+	// invalidates the stream-specialized models.
+	SceneSwitchFrame  int
+	SceneSwitchBGSeed int64
+	// SecondaryClass and MixProb populate scenes with a second object
+	// class (each spawned scene object flips to SecondaryClass with
+	// probability MixProb) — the paper's §5.5 multiple-target-objects
+	// case, which requires a multi-output SNM.
+	SecondaryClass frame.Class
+	MixProb        float64
+}
+
+// Jackson returns a preset mirroring the paper's Jackson workload
+// (Table 1): a 600×400 crossroad stream whose target is cars with
+// TOR 0.08.
+func Jackson(seed int64) Config {
+	return Config{
+		Seed: seed, W: 600, H: 400, FPS: 30,
+		Target: frame.ClassCar, TOR: 0.08,
+		MeanSceneFrames: 90, MaxObjects: 3,
+		CrowdProb: 0, CrowdSize: 0,
+		StopProb: 0.15, StopFrames: 60,
+		DistractorProb: 0.10,
+		LightAmp:       8, LightPeriod: 3000,
+		NoiseAmp:    4,
+		MinSizeFrac: 0.18, MaxSizeFrac: 0.30,
+	}
+}
+
+// Coral returns a preset mirroring the paper's Coral workload (Table 1):
+// a 1280×720 aquarium stream whose target is persons with TOR 0.50 and
+// frequent crowds.
+func Coral(seed int64) Config {
+	return Config{
+		Seed: seed, W: 1280, H: 720, FPS: 30,
+		Target: frame.ClassPerson, TOR: 0.50,
+		MeanSceneFrames: 150, MaxObjects: 4,
+		CrowdProb: 0.5, CrowdSize: 9,
+		StopProb: 0.05, StopFrames: 45,
+		DistractorProb: 0.05,
+		LightAmp:       5, LightPeriod: 5000,
+		NoiseAmp:    4,
+		MinSizeFrac: 0.10, MaxSizeFrac: 0.20,
+	}
+}
+
+// Small returns a compact preset (320×240) with the given target and TOR,
+// used by tests and the benchmark harness where capture resolution is
+// irrelevant (every filter resizes its input anyway, as in the paper).
+func Small(seed int64, target frame.Class, tor float64) Config {
+	c := Config{
+		Seed: seed, W: 320, H: 240, FPS: 30,
+		Target: target, TOR: tor,
+		MeanSceneFrames: 60, MaxObjects: 3,
+		StopProb: 0.12, StopFrames: 45,
+		DistractorProb: 0.08,
+		LightAmp:       6, LightPeriod: 2000,
+		NoiseAmp:    4,
+		MinSizeFrac: 0.18, MaxSizeFrac: 0.30,
+	}
+	if target == frame.ClassPerson {
+		c.CrowdProb = 0.5
+		c.CrowdSize = 8
+		c.MinSizeFrac, c.MaxSizeFrac = 0.12, 0.2
+	}
+	return c
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.W <= 0 || c.H <= 0:
+		return fmt.Errorf("vidgen: invalid frame size %dx%d", c.W, c.H)
+	case c.TOR < 0 || c.TOR > 1:
+		return fmt.Errorf("vidgen: TOR %v out of [0,1]", c.TOR)
+	case c.Target == frame.ClassNone:
+		return fmt.Errorf("vidgen: target class unset")
+	case c.MeanSceneFrames <= 0:
+		return fmt.Errorf("vidgen: MeanSceneFrames must be positive")
+	}
+	return nil
+}
+
+// object is one moving thing in the world.
+type object struct {
+	class    frame.Class
+	cx, cy   float64 // center
+	w, h     int
+	vx       float64
+	stopLeft int // frames remaining stopped (0 = moving)
+	stopAtX  float64
+	willStop bool
+	bright   int // brightness delta over background
+}
+
+// Stream generates the frames of one synthetic video stream. It is not
+// safe for concurrent use; each pipeline stream owns one Stream.
+type Stream struct {
+	cfg Config
+	rng *rand.Rand
+	bg  *imgproc.Gray
+
+	seq        int64
+	frameIdx   int
+	objects    []*object
+	gapLeft    int // frames until next scene while no scene pending
+	sceneID    int64
+	inScene    bool
+	sceneStart int // frameIdx at which the current scene began
+	noiseState uint32
+
+	targetFrames int64 // frames emitted containing >=1 visible target
+	totalFrames  int64
+}
+
+// New creates a stream; it panics if the configuration is invalid, since
+// configs are produced by presets and tests, not end users.
+func New(cfg Config) *Stream {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	s := &Stream{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		noiseState: uint32(cfg.Seed)*2654435761 + 1,
+	}
+	bgSeed := cfg.BGSeed
+	if bgSeed == 0 {
+		bgSeed = cfg.Seed
+	}
+	s.bg = makeBackground(cfg.W, cfg.H, rand.New(rand.NewSource(bgSeed^0xb6)))
+	s.gapLeft = s.initialGap()
+	return s
+}
+
+// Config returns the stream's configuration.
+func (s *Stream) Config() Config { return s.cfg }
+
+// Background returns a copy of the true (noise-free, drift-free)
+// background; it exists so tests and the SDD trainer can validate against
+// ground truth.
+func (s *Stream) Background() *imgproc.Gray { return s.bg.Clone() }
+
+// RealizedTOR reports the fraction of emitted frames that contained at
+// least one visible target object.
+func (s *Stream) RealizedTOR() float64 {
+	if s.totalFrames == 0 {
+		return 0
+	}
+	return float64(s.targetFrames) / float64(s.totalFrames)
+}
+
+// makeBackground builds a deterministic fixed-viewpoint scene: smooth
+// low-frequency structure (buildings/road bands) plus mild texture.
+func makeBackground(w, h int, rng *rand.Rand) *imgproc.Gray {
+	g := imgproc.NewGray(w, h)
+	p1 := 37.0 + float64(rng.Intn(20))
+	p2 := 23.0 + float64(rng.Intn(12))
+	base := 100.0 + float64(rng.Intn(30))
+	for y := 0; y < g.H; y++ {
+		fy := float64(y)
+		band := 20 * math.Sin(fy/p2)
+		for x := 0; x < g.W; x++ {
+			fx := float64(x)
+			v := base + band + 15*math.Sin(fx/p1) + 8*math.Sin((fx+2*fy)/11)
+			if v < 0 {
+				v = 0
+			} else if v > 255 {
+				v = 255
+			}
+			g.Pix[y*g.W+x] = uint8(v)
+		}
+	}
+	return g
+}
+
+func (s *Stream) initialGap() int {
+	if s.cfg.TOR >= 0.999 {
+		return 0
+	}
+	// Sample a uniform phase of the steady-state scene/gap cycle so a
+	// short window is an unbiased TOR sample (a stream must not always
+	// open with a scene, or short probes run far above the target TOR).
+	expGap := float64(s.cfg.MeanSceneFrames) * (1/max(s.cfg.TOR, 0.001) - 1)
+	if expGap > 200*float64(s.cfg.MeanSceneFrames) {
+		expGap = 200 * float64(s.cfg.MeanSceneFrames)
+	}
+	return s.rng.Intn(int(expGap) + 1)
+}
+
+// nextGap draws the idle period after a scene so the realized TOR
+// converges to the target: the open-loop expectation
+// scene·(1/TOR − 1) is corrected by the observed error.
+func (s *Stream) nextGap(sceneLen int) int {
+	tor := s.cfg.TOR
+	if tor >= 0.999 {
+		return 0
+	}
+	if tor <= 0.001 {
+		return sceneLen * 200
+	}
+	open := float64(sceneLen) * (1/tor - 1)
+	// Closed-loop correction: if we are running hot (realized > target),
+	// lengthen the gap, and vice versa.
+	if s.totalFrames > int64(s.cfg.MeanSceneFrames)*4 {
+		realized := float64(s.targetFrames) / float64(s.totalFrames)
+		deficit := (realized - tor) * float64(s.totalFrames)
+		open += deficit / tor
+	}
+	jitter := 0.7 + 0.6*s.rng.Float64()
+	g := int(open * jitter)
+	if g < 0 {
+		g = 0
+	}
+	return g
+}
+
+// spawnScene creates the objects of a new scene, entering from a frame
+// edge.
+func (s *Stream) spawnScene() []*object {
+	crowd := s.rng.Float64() < s.cfg.CrowdProb
+	n := 1
+	if crowd && s.cfg.CrowdSize > 1 {
+		n = s.cfg.CrowdSize - 2 + s.rng.Intn(5)
+	} else if s.cfg.MaxObjects > 1 {
+		n = 1 + s.rng.Intn(s.cfg.MaxObjects)
+	}
+	objs := make([]*object, 0, n+1)
+	fromLeft := s.rng.Intn(2) == 0
+	for i := 0; i < n; i++ {
+		class := s.cfg.Target
+		if s.cfg.MixProb > 0 && s.cfg.SecondaryClass != frame.ClassNone && s.rng.Float64() < s.cfg.MixProb {
+			class = s.cfg.SecondaryClass
+		}
+		o := s.newObject(class, fromLeft, crowd)
+		objs = append(objs, o)
+	}
+	if s.rng.Float64() < s.cfg.DistractorProb {
+		objs = append(objs, s.newObject(s.distractorClass(), !fromLeft, false))
+	}
+	return objs
+}
+
+func (s *Stream) distractorClass() frame.Class {
+	choices := []frame.Class{frame.ClassDog, frame.ClassCat, frame.ClassBicycle}
+	return choices[s.rng.Intn(len(choices))]
+}
+
+// newObject creates an object just outside the frame moving across it.
+func (s *Stream) newObject(class frame.Class, fromLeft, crowd bool) *object {
+	hFrac := s.cfg.MinSizeFrac + s.rng.Float64()*(s.cfg.MaxSizeFrac-s.cfg.MinSizeFrac)
+	h := int(hFrac * float64(s.cfg.H))
+	if h < 4 {
+		h = 4
+	}
+	var w int
+	var bright int
+	switch class {
+	case frame.ClassCar:
+		w = h*2 + s.rng.Intn(h/2+1) // wide
+		bright = 55 + s.rng.Intn(30)
+	case frame.ClassBus, frame.ClassTruck:
+		w = h * 3
+		bright = 60 + s.rng.Intn(30)
+	case frame.ClassPerson:
+		w = h*2/5 + 1 // narrow
+		bright = 45 + s.rng.Intn(25)
+		if crowd {
+			h = h * 3 / 4 // crowds are small and far away
+			w = h*2/5 + 1
+		}
+	default: // small distractors
+		w = h / 2
+		h = h / 2
+		if w < 3 {
+			w = 3
+		}
+		if h < 3 {
+			h = 3
+		}
+		bright = 30 + s.rng.Intn(15)
+	}
+	if w < 2 {
+		w = 2
+	}
+	// Vertical placement: lower half for ground objects.
+	cy := float64(s.cfg.H) * (0.45 + 0.4*s.rng.Float64())
+	// Crossing speed: the whole transit (W + w pixels) should take about
+	// MeanSceneFrames, with jitter.
+	transit := float64(s.cfg.MeanSceneFrames) * (0.7 + 0.6*s.rng.Float64())
+	speed := (float64(s.cfg.W) + float64(w)) / transit
+	o := &object{class: class, cy: cy, w: w, h: h, bright: bright}
+	if fromLeft {
+		o.cx = -float64(w) / 2
+		o.vx = speed
+	} else {
+		o.cx = float64(s.cfg.W) + float64(w)/2
+		o.vx = -speed
+	}
+	if crowd {
+		// Stagger the crowd so members overlap but are not coincident.
+		o.cx -= o.vx * float64(s.rng.Intn(s.cfg.MeanSceneFrames/3+1))
+		o.cy += float64(s.rng.Intn(h+1)) - float64(h)/2
+	}
+	if class == s.cfg.Target && s.rng.Float64() < s.cfg.StopProb {
+		o.willStop = true
+		// Stop while 30-60% of the body is inside the frame: a partial
+		// appearance the T-YOLO substitute systematically misses.
+		inFrac := 0.3 + 0.3*s.rng.Float64()
+		if fromLeft {
+			o.stopAtX = float64(w)*(inFrac-0.5) + 0
+		} else {
+			o.stopAtX = float64(s.cfg.W) - float64(w)*(inFrac-0.5)
+		}
+	}
+	return o
+}
+
+// visibleBox returns the object's on-frame bounding box and visible
+// fraction; ok is false when fully outside.
+func (s *Stream) visibleBox(o *object) (b frame.Box, ok bool) {
+	x0 := int(o.cx - float64(o.w)/2)
+	y0 := int(o.cy - float64(o.h)/2)
+	x1, y1 := x0+o.w, y0+o.h
+	cx0, cy0 := max(x0, 0), max(y0, 0)
+	cx1, cy1 := min(x1, s.cfg.W), min(y1, s.cfg.H)
+	if cx0 >= cx1 || cy0 >= cy1 {
+		return frame.Box{}, false
+	}
+	vis := float64((cx1-cx0)*(cy1-cy0)) / float64(o.w*o.h)
+	return frame.Box{
+		X: cx0, Y: cy0, W: cx1 - cx0, H: cy1 - cy0,
+		Class: o.class, Visible: vis,
+	}, true
+}
+
+// Next produces the next frame of the stream.
+func (s *Stream) Next() *frame.Frame {
+	s.step()
+	f := s.render()
+	s.seq++
+	s.frameIdx++
+	s.totalFrames++
+	if f.Truth.TargetCount(s.cfg.Target) > 0 {
+		s.targetFrames++
+	}
+	return f
+}
+
+// step advances world state by one frame time.
+func (s *Stream) step() {
+	if s.cfg.SceneSwitchFrame > 0 && s.frameIdx == s.cfg.SceneSwitchFrame {
+		seed := s.cfg.SceneSwitchBGSeed
+		if seed == 0 {
+			seed = s.cfg.Seed + 0x5c
+		}
+		s.bg = makeBackground(s.cfg.W, s.cfg.H, rand.New(rand.NewSource(seed^0xb6)))
+	}
+	// Advance objects.
+	alive := s.objects[:0]
+	for _, o := range s.objects {
+		if o.stopLeft > 0 {
+			o.stopLeft--
+		} else {
+			if o.willStop {
+				if (o.vx > 0 && o.cx >= o.stopAtX) || (o.vx < 0 && o.cx <= o.stopAtX) {
+					o.willStop = false
+					o.stopLeft = 1 + int(float64(s.cfg.StopFrames)*(0.5+s.rng.Float64()))
+				}
+			}
+			if o.stopLeft == 0 {
+				o.cx += o.vx
+			}
+		}
+		// Keep while not fully departed on the far side.
+		departed := (o.vx > 0 && o.cx-float64(o.w)/2 > float64(s.cfg.W)) ||
+			(o.vx < 0 && o.cx+float64(o.w)/2 < 0)
+		if !departed {
+			alive = append(alive, o)
+		}
+	}
+	s.objects = alive
+
+	// Scene scheduling: when the world is empty, count down the gap and
+	// spawn the next scene.
+	if len(s.objects) == 0 {
+		if s.inScene {
+			// Scene just ended.
+			s.inScene = false
+			s.gapLeft = s.nextGap(s.lastSceneLen())
+		}
+		if s.gapLeft <= 0 {
+			s.objects = s.spawnScene()
+			s.inScene = true
+			s.sceneID++
+			s.sceneStart = s.frameIdx
+		} else {
+			s.gapLeft--
+		}
+	}
+}
+
+func (s *Stream) lastSceneLen() int {
+	l := s.frameIdx - s.sceneStart
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// render paints background + light drift + objects + noise and attaches
+// ground truth.
+func (s *Stream) render() *frame.Frame {
+	f := frame.New(s.cfg.W, s.cfg.H)
+	f.StreamID = s.cfg.StreamID
+	f.Seq = s.seq
+
+	lum := 0.0
+	if s.cfg.LightAmp > 0 && s.cfg.LightPeriod > 0 {
+		lum = s.cfg.LightAmp * math.Sin(2*math.Pi*float64(s.frameIdx)/float64(s.cfg.LightPeriod))
+	}
+	ilum := int(math.Round(lum))
+
+	copy(f.Pix, s.bg.Pix)
+
+	ann := &frame.Annotation{Lum: lum}
+	anyTarget := false
+	for _, o := range s.objects {
+		b, ok := s.visibleBox(o)
+		if !ok {
+			continue
+		}
+		s.paint(f, o, b)
+		ann.Boxes = append(ann.Boxes, b)
+		if o.class == s.cfg.Target {
+			anyTarget = true
+		}
+	}
+	if anyTarget {
+		ann.SceneID = s.sceneID
+	}
+	f.Truth = ann
+
+	// Illumination drift + cheap deterministic sensor noise. One
+	// xorshift32 step yields four noise bytes; masking (power of two)
+	// replaces the division a modulo would need.
+	noise := s.cfg.NoiseAmp
+	if noise > 0 {
+		mask := uint32(1)
+		for mask < uint32(noise) {
+			mask <<= 1
+		}
+		mask--
+		half := int(mask) / 2
+		st := s.noiseState
+		n := len(f.Pix)
+		for i := 0; i < n; {
+			st ^= st << 13
+			st ^= st >> 17
+			st ^= st << 5
+			r := st
+			for k := 0; k < 4 && i < n; k++ {
+				v := int(f.Pix[i]) + ilum + int(r&mask) - half
+				r >>= 8
+				if v < 0 {
+					v = 0
+				} else if v > 255 {
+					v = 255
+				}
+				f.Pix[i] = uint8(v)
+				i++
+			}
+		}
+		s.noiseState = st
+	} else if ilum != 0 {
+		for i, p := range f.Pix {
+			v := int(p) + ilum
+			if v < 0 {
+				v = 0
+			} else if v > 255 {
+				v = 255
+			}
+			f.Pix[i] = uint8(v)
+		}
+	}
+	return f
+}
+
+// paint draws an object's visible box with class-specific structure.
+func (s *Stream) paint(f *frame.Frame, o *object, b frame.Box) {
+	for y := b.Y; y < b.Y+b.H; y++ {
+		rowOff := y * f.W
+		// Cars get a darker "window band" across the upper third so they
+		// are textured, not flat.
+		dark := 0
+		if o.class == frame.ClassCar || o.class == frame.ClassBus || o.class == frame.ClassTruck {
+			relY := y - int(o.cy-float64(o.h)/2)
+			if relY > o.h/5 && relY < o.h*2/5 {
+				dark = 35
+			}
+		}
+		for x := b.X; x < b.X+b.W; x++ {
+			v := int(f.Pix[rowOff+x]) + o.bright - dark
+			if v > 255 {
+				v = 255
+			}
+			f.Pix[rowOff+x] = uint8(v)
+		}
+	}
+}
+
+// Generate produces the next n frames of the stream.
+func Generate(s *Stream, n int) []*frame.Frame {
+	out := make([]*frame.Frame, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}
