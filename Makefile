@@ -1,0 +1,34 @@
+# FFS-VA reproduction build targets.
+#
+# `make ci` is the full gate: build, vet, and the complete test suite
+# under the race detector (the pipeline's real-clock and concurrency
+# tests only prove anything when raced). `make test` is the quick
+# edit-compile loop; `make race` restricts -race to the concurrency-
+# sensitive packages for a faster pre-push check.
+
+GO ?= go
+
+.PHONY: all build vet test race ci bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The packages whose tests exercise real goroutines against shared state.
+race:
+	$(GO) test -race ./internal/queue ./internal/pipeline
+
+ci:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) run ./cmd/ffsbench -scale quick

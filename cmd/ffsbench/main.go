@@ -5,9 +5,13 @@
 // Usage:
 //
 //	ffsbench [-scale quick|full] [-only table1,fig3,...] [-o out.txt]
+//	         [-metrics 500ms] [-metrics-json]
 //
 // The quick scale (default) preserves every experiment's shape in a few
-// minutes; full mirrors the paper's run sizes.
+// minutes; full mirrors the paper's run sizes. The "metrics" job runs an
+// instrumented online configuration and tabulates the pipeline's snapshot
+// timeline; -metrics sets the sampling interval and -metrics-json also
+// dumps every raw snapshot as a JSON line.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"time"
 
 	"ffsva/internal/experiments"
+	"ffsva/internal/pipeline"
 )
 
 // tabler is any experiment result that renders to tables.
@@ -26,8 +31,10 @@ type tabler interface{ Tables() []*experiments.Table }
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
-	only := flag.String("only", "", "comma-separated experiment ids to run (default all): headline,table1,fig3,fig4,fig5,fig6a,fig6b,fig7,fig8,table2,fig9,fig10,ablations,extensions")
+	only := flag.String("only", "", "comma-separated experiment ids to run (default all): headline,table1,fig3,fig4,fig5,fig6a,fig6b,fig7,fig8,table2,fig9,fig10,ablations,extensions,metrics")
 	outPath := flag.String("o", "", "write output to file instead of stdout")
+	metricsEvery := flag.Duration("metrics", 500*time.Millisecond, "snapshot interval for the metrics job")
+	metricsJSON := flag.Bool("metrics-json", false, "also dump each metrics-job snapshot as a JSON line")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -79,6 +86,7 @@ func main() {
 		{"fig10", func() (tabler, error) { return experiments.Fig10(scale) }},
 		{"ablations", func() (tabler, error) { return runAblations(scale) }},
 		{"extensions", func() (tabler, error) { return runExtensions(scale) }},
+		{"metrics", func() (tabler, error) { return runMetrics(scale, *metricsEvery, *metricsJSON, out) }},
 	}
 
 	fmt.Fprintf(out, "FFS-VA evaluation reproduction (scale=%s), started %s\n\n", scale.Name, time.Now().Format(time.RFC3339))
@@ -102,6 +110,32 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runMetrics exercises the observability layer: an instrumented online
+// run sampled by the periodic monitor, tabulated as a snapshot timeline.
+// With asJSON each raw pipeline.Snapshot is also written as a JSON line.
+func runMetrics(scale experiments.Scale, every time.Duration, asJSON bool, out io.Writer) (tabler, error) {
+	res, err := experiments.ObservabilityTrace(scale, every)
+	if err != nil {
+		return nil, err
+	}
+	if asJSON {
+		for _, sn := range res.Samples {
+			fmt.Fprintln(out, sn.JSON())
+		}
+	}
+	if len(res.Samples) > 0 {
+		var peak pipeline.Snapshot
+		for _, sn := range res.Samples {
+			if sn.TYoloRate > peak.TYoloRate {
+				peak = sn
+			}
+		}
+		fmt.Fprintf(out, "metrics: peak shared T-YOLO rate %.1f fps at t=%v (spare threshold 140 fps)\n\n",
+			peak.TYoloRate, peak.At.Round(time.Millisecond))
+	}
+	return res, nil
 }
 
 // ablationSet bundles the three ablations as one job.

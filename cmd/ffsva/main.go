@@ -7,7 +7,13 @@
 //	ffsva [-workload car|person] [-tor 0.1] [-streams 4] [-frames 1000]
 //	      [-mode offline|online] [-batch-policy dynamic|feedback|static]
 //	      [-batch 10] [-filter-degree 0.5] [-objects 1] [-tolerance 0]
-//	      [-real]
+//	      [-real] [-metrics 1s] [-metrics-json]
+//
+// -metrics attaches the pipeline's periodic observability monitor: every
+// interval a live snapshot (queue depths, feedback blocked-puts, drops by
+// disposition, SNM batch distribution, device busy fractions, ingest lag,
+// T-YOLO rate) is dumped to stderr, as text or as one JSON line with
+// -metrics-json.
 //
 // By default the run executes under the deterministic virtual clock,
 // reproducing the paper's two-GPU server timings on any machine; -real
@@ -37,6 +43,8 @@ func main() {
 	flag.IntVar(&cfg.Tolerance, "tolerance", 0, "relaxation of the object-count threshold")
 	real := flag.Bool("real", false, "run in real time instead of the virtual clock")
 	flag.Int64Var(&cfg.Seed, "seed", 1, "stream dynamics seed")
+	metricsEvery := flag.Duration("metrics", 0, "dump a pipeline snapshot to stderr every interval (0 disables)")
+	metricsJSON := flag.Bool("metrics-json", false, "emit -metrics snapshots as JSON lines")
 	flag.Parse()
 
 	switch *workload {
@@ -69,6 +77,11 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Virtual = !*real
+	if *metricsEvery > 0 {
+		cfg.MetricsEvery = *metricsEvery
+		cfg.MetricsJSON = *metricsJSON
+		cfg.MetricsOut = os.Stderr
+	}
 
 	fmt.Printf("training stream-specialized models (cached after first run)...\n")
 	res, err := ffsva.Run(cfg)

@@ -82,10 +82,11 @@ const (
 
 // Frame dispositions.
 const (
-	DropSDD   = pipeline.DropSDD
-	DropSNM   = pipeline.DropSNM
-	DropTYolo = pipeline.DropTYolo
-	Detected  = pipeline.Detected
+	DropSDD    = pipeline.DropSDD
+	DropSNM    = pipeline.DropSNM
+	DropTYolo  = pipeline.DropTYolo
+	Detected   = pipeline.Detected
+	DropClosed = pipeline.DropClosed
 )
 
 // DefaultConfig returns a ready-to-run configuration (one offline car

@@ -149,16 +149,26 @@ func (c *Cluster) Run() *Report {
 	return c.report()
 }
 
+// observe samples every instance's pipeline snapshot once per manager
+// tick; all admission and overload decisions read the same view.
+func (c *Cluster) observe() []pipeline.Snapshot {
+	snaps := make([]pipeline.Snapshot, len(c.instances))
+	for i, inst := range c.instances {
+		snaps[i] = inst.Snapshot()
+	}
+	return snaps
+}
+
 // pick selects the admission target: spare instances first (by the
 // paper's T-YOLO-rate signal), then fewest active streams.
-func (c *Cluster) pick() int {
+func (c *Cluster) pick(snaps []pipeline.Snapshot) int {
 	best, bestScore := 0, int(1<<30)
-	for i, inst := range c.instances {
+	for i := range c.instances {
 		score := c.counts[i] * 10
-		if c.overloaded(i) {
+		if c.overloaded(snaps[i]) {
 			score += 1000
 		}
-		if rate := inst.TYoloRate(); rate >= c.cfg.SpareTYRate {
+		if snaps[i].TYoloRate >= c.cfg.SpareTYRate {
 			score += 100
 		}
 		if score < bestScore {
@@ -168,17 +178,17 @@ func (c *Cluster) pick() int {
 	return best
 }
 
-// overloaded combines three signals: blocked ingest, a deep capture
-// backlog, and queues pinned at their thresholds while backlog builds.
-func (c *Cluster) overloaded(i int) bool {
-	inst := c.instances[i]
-	if inst.WorstLag() > c.cfg.LagThreshold {
+// overloaded combines three snapshot signals: blocked ingest, a deep
+// capture backlog, and queues pinned at their thresholds while backlog
+// builds.
+func (c *Cluster) overloaded(sn pipeline.Snapshot) bool {
+	if sn.WorstLag > c.cfg.LagThreshold {
 		return true
 	}
-	if inst.WorstBacklog() > c.cfg.BacklogThreshold {
+	if sn.WorstBacklog > c.cfg.BacklogThreshold {
 		return true
 	}
-	return inst.Overloaded() && inst.WorstBacklog() > c.cfg.BacklogThreshold/3
+	return sn.Overloaded && sn.WorstBacklog > c.cfg.BacklogThreshold/3
 }
 
 // manage is the combined admission + overload-monitor process.
@@ -186,10 +196,12 @@ func (c *Cluster) manage() {
 	clk := c.cfg.Clock
 	next := 0
 	for clk.Now() < c.cfg.Horizon {
+		// One consistent observation of every instance per tick.
+		snaps := c.observe()
 		// Admit any due arrivals.
 		for next < len(c.arrivals) && c.arrivals[next].At <= clk.Now() {
 			a := c.arrivals[next]
-			idx := c.pick()
+			idx := c.pick(snaps)
 			spec := a.Make(c.tgs[idx])
 			spec.ID = a.ID
 			c.instances[idx].AddStream(spec)
@@ -201,13 +213,13 @@ func (c *Cluster) manage() {
 		}
 		// Overload monitoring and re-forwarding.
 		for i := range c.instances {
-			if !c.overloaded(i) {
+			if !c.overloaded(snaps[i]) {
 				c.over[i] = 0
 				continue
 			}
 			c.over[i]++
 			if c.over[i] >= c.cfg.OverloadChecks && c.counts[i] > 1 {
-				if target := c.leastLoadedExcept(i); target >= 0 {
+				if target := c.leastLoadedExcept(snaps, i); target >= 0 {
 					c.reforward(i, target)
 					c.over[i] = 0
 				}
@@ -230,10 +242,10 @@ func (c *Cluster) manage() {
 
 // leastLoadedExcept returns the least-loaded non-overloaded instance
 // other than skip, or -1.
-func (c *Cluster) leastLoadedExcept(skip int) int {
+func (c *Cluster) leastLoadedExcept(snaps []pipeline.Snapshot, skip int) int {
 	best, bestCount := -1, int(1<<30)
 	for i := range c.instances {
-		if i == skip || c.overloaded(i) {
+		if i == skip || c.overloaded(snaps[i]) {
 			continue
 		}
 		if c.counts[i] < bestCount {

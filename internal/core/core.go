@@ -8,6 +8,8 @@ package core
 
 import (
 	"fmt"
+	"io"
+	"time"
 
 	"ffsva/internal/detect"
 	"ffsva/internal/frame"
@@ -55,6 +57,14 @@ type Config struct {
 	ChargeCosts bool
 	// Seed namespaces the streams' object dynamics.
 	Seed int64
+
+	// MetricsEvery, when positive, attaches the pipeline's periodic
+	// observability monitor: every interval a Snapshot is written to
+	// MetricsOut (text by default, one JSON line per sample with
+	// MetricsJSON). Ignored when MetricsOut is nil.
+	MetricsEvery time.Duration
+	MetricsJSON  bool
+	MetricsOut   io.Writer
 }
 
 // DefaultConfig returns a ready-to-run configuration.
@@ -129,7 +139,18 @@ func Run(cfg Config) (*Result, error) {
 			Tolerance:       cfg.Tolerance,
 		})
 	}
-	rep := pipeline.New(pcfg, specs).Run()
+	sys := pipeline.New(pcfg, specs)
+	if cfg.MetricsEvery > 0 && cfg.MetricsOut != nil {
+		out, asJSON := cfg.MetricsOut, cfg.MetricsJSON
+		sys.Monitor(cfg.MetricsEvery, func(sn pipeline.Snapshot) {
+			if asJSON {
+				fmt.Fprintln(out, sn.JSON())
+			} else {
+				fmt.Fprintln(out, sn)
+			}
+		})
+	}
+	rep := sys.Run()
 
 	res := &Result{Pipeline: rep}
 	for _, sr := range rep.Streams {

@@ -219,13 +219,17 @@ type Stats struct {
 	Busy     time.Duration
 	Switches int64
 	Served   int64
+	// InUse and Slots describe instantaneous occupancy at snapshot time:
+	// the pipeline monitor reports InUse/Slots as the device's live load.
+	InUse int
+	Slots int
 }
 
-// Stats returns accumulated accounting.
+// Stats returns accumulated accounting plus instantaneous occupancy.
 func (d *Device) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return Stats{Busy: d.busy, Switches: d.switches, Served: d.served}
+	return Stats{Busy: d.busy, Switches: d.switches, Served: d.served, InUse: d.inUse, Slots: d.Slots}
 }
 
 // Utilization reports busy time divided by capacity × elapsed.

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ffsva/internal/detect"
+	"ffsva/internal/lab"
+	"ffsva/internal/pipeline"
+	"ffsva/internal/vclock"
+)
+
+// ObserveResult is an online run instrumented with the periodic monitor:
+// the sampled snapshot timeline plus the finished report. It backs the
+// ffsbench "metrics" job and demonstrates the observability layer the
+// cluster manager drives its §4.3 decisions from.
+type ObserveResult struct {
+	Every   time.Duration
+	Samples []pipeline.Snapshot
+	Report  *pipeline.Report
+}
+
+// ObservabilityTrace runs a moderately loaded online configuration under
+// the virtual clock with a Monitor attached every interval, collecting
+// each Snapshot. The trace shows the control signals evolving: T-YOLO
+// rate ramping toward steady state, queue depths and blocked feedback
+// puts under load, and the drop-by-disposition ledger converging on the
+// ingest total.
+func ObservabilityTrace(scale Scale, every time.Duration) (*ObserveResult, error) {
+	if every <= 0 {
+		every = 500 * time.Millisecond
+	}
+	cam, err := lab.CarCamera(0.10)
+	if err != nil {
+		return nil, err
+	}
+	clk := vclock.NewVirtual()
+	cfg := pipeline.DefaultConfig(clk)
+	cfg.Mode = pipeline.Online
+	cfg.BatchPolicy = pipeline.BatchDynamic
+
+	det := detect.NewTinyGrid(detect.DefaultTinyGridConfig())
+	const streams = 4
+	specs := make([]pipeline.StreamSpec, streams)
+	for i := range specs {
+		specs[i] = cam.Stream(i, det, lab.StreamOptions{
+			Seed:            int64(i)*7919 + 4201,
+			Frames:          scale.OnlineFrames,
+			NumberOfObjects: 1,
+		})
+	}
+	sys := pipeline.New(cfg, specs)
+	res := &ObserveResult{Every: every}
+	sys.Monitor(every, func(sn pipeline.Snapshot) {
+		res.Samples = append(res.Samples, sn)
+	})
+	res.Report = sys.Run()
+	return res, nil
+}
+
+// Tables renders the snapshot timeline and the final frame ledger.
+func (r *ObserveResult) Tables() []*Table {
+	tl := &Table{
+		ID:    "metrics",
+		Title: fmt.Sprintf("observability trace (online, snapshot every %v)", r.Every),
+		Columns: []string{"t", "t-yolo fps", "worst lag", "backlog", "in-flight",
+			"snm depth", "ty depth", "blocked puts", "snm batch", "gpu busy", "state"},
+	}
+	for _, sn := range r.Samples {
+		var snmDepth, tyDepth, blocked int64
+		for _, ss := range sn.Streams {
+			snmDepth += int64(ss.SNMQ.Depth)
+			tyDepth += int64(ss.TYQ.Depth)
+			blocked += ss.SDDQ.BlockedPuts + ss.SNMQ.BlockedPuts + ss.TYQ.BlockedPuts
+		}
+		gpu := 0.0
+		for _, d := range sn.Devices {
+			if d.Kind == "gpu" && d.BusyFraction > gpu {
+				gpu = d.BusyFraction
+			}
+		}
+		state := "running"
+		switch {
+		case sn.Finished:
+			state = "finished"
+		case sn.Overloaded:
+			state = "overloaded"
+		}
+		tl.Rows = append(tl.Rows, []string{
+			sn.At.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1f", sn.TYoloRate),
+			sn.WorstLag.Round(time.Millisecond).String(),
+			fmt.Sprintf("%d", sn.WorstBacklog),
+			fmt.Sprintf("%d", sn.InFlight),
+			fmt.Sprintf("%d", snmDepth),
+			fmt.Sprintf("%d", tyDepth),
+			fmt.Sprintf("%d", blocked),
+			fmt.Sprintf("%.1f", sn.SNMBatchMean),
+			fmt.Sprintf("%.0f%%", 100*gpu),
+			state,
+		})
+	}
+	ledger := &Table{
+		ID:      "metrics-ledger",
+		Title:   "final frame ledger (every ingested frame has exactly one disposition)",
+		Columns: []string{"signal", "value"},
+	}
+	if n := len(r.Samples); n > 0 {
+		last := r.Samples[n-1]
+		total := int64(0)
+		for _, c := range last.Drops {
+			total += c
+		}
+		ledger.Rows = append(ledger.Rows,
+			[]string{"ingested", fmt.Sprintf("%d", last.Ingested)},
+			[]string{"drop-sdd", fmt.Sprintf("%d", last.Drops[pipeline.DropSDD])},
+			[]string{"drop-snm", fmt.Sprintf("%d", last.Drops[pipeline.DropSNM])},
+			[]string{"drop-t-yolo", fmt.Sprintf("%d", last.Drops[pipeline.DropTYolo])},
+			[]string{"detected", fmt.Sprintf("%d", last.Drops[pipeline.Detected])},
+			[]string{"drop-closed", fmt.Sprintf("%d", last.Drops[pipeline.DropClosed])},
+			[]string{"disposed total", fmt.Sprintf("%d", total)},
+			[]string{"orphaned", fmt.Sprintf("%d", last.Orphaned)},
+		)
+		if total == last.Ingested {
+			ledger.Notes = append(ledger.Notes, "conservation holds: dispositions sum to ingested frames")
+		} else {
+			ledger.Notes = append(ledger.Notes,
+				fmt.Sprintf("CONSERVATION VIOLATED: %d disposed != %d ingested", total, last.Ingested))
+		}
+	}
+	if r.Report != nil {
+		ledger.Notes = append(ledger.Notes,
+			fmt.Sprintf("report: %d frames decided, realtime=%v", reportDecided(r.Report), r.Report.Realtime))
+	}
+	return []*Table{tl, ledger}
+}
+
+func reportDecided(rep *pipeline.Report) int64 {
+	var n int64
+	for _, sr := range rep.Streams {
+		for _, rec := range sr.Records {
+			if rec.Done {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -124,6 +124,34 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.Max()
 }
 
+// Bucket is one exported histogram bucket: the count of observations at
+// or below UpperBound (and above the previous bucket's bound).
+type Bucket struct {
+	UpperBound time.Duration `json:"le"`
+	Count      int64         `json:"count"`
+}
+
+// Buckets exports the non-empty buckets, smallest bound first. The
+// overflow bucket (observations beyond the last bound) reports the
+// maximum observation as its bound.
+func (h *Histogram) Buckets() []Bucket {
+	var out []Bucket
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		b := Bucket{Count: n}
+		if i < len(h.bounds) {
+			b.UpperBound = h.bounds[i]
+		} else {
+			b.UpperBound = h.Max()
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
 // String summarizes the distribution.
 func (h *Histogram) String() string {
 	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
@@ -138,21 +166,27 @@ type Meter struct {
 	slots int
 	buf   []int64
 	base  int64 // slot index of buf[0]
+	// first is the slot index of the first Mark ever, or -1. Rate divides
+	// by the span actually observed since then, never by unelapsed window.
+	first int64
 }
 
 // NewMeter creates a meter with the given slot width and window length in
 // slots. Meter is not safe for concurrent use; each pipeline monitor owns
-// one.
+// one (SyncMeter adds locking for shared use).
 func NewMeter(slot time.Duration, slots int) *Meter {
 	if slot <= 0 || slots <= 0 {
 		panic("metrics: NewMeter requires positive slot and window")
 	}
-	return &Meter{slot: slot, slots: slots, buf: make([]int64, slots), base: -1}
+	return &Meter{slot: slot, slots: slots, buf: make([]int64, slots), base: -1, first: -1}
 }
 
 // Mark records n events at time now.
 func (m *Meter) Mark(now time.Duration, n int64) {
 	idx := int64(now / m.slot)
+	if m.first < 0 {
+		m.first = idx
+	}
 	m.advance(idx)
 	m.buf[idx-m.base] += n
 }
@@ -172,14 +206,28 @@ func (m *Meter) advance(idx int64) {
 	}
 }
 
-// Rate returns events per second over the window ending at now.
+// Rate returns events per second over the window ending at now. Before
+// the window has filled it divides by the span observed since the first
+// Mark (clamped to at least one slot), not the full window — otherwise a
+// freshly created meter under-reports by up to slots× and, e.g., the
+// cluster manager's 140 FPS spare-capacity check would see false spare
+// capacity right after admission.
 func (m *Meter) Rate(now time.Duration) float64 {
 	idx := int64(now / m.slot)
 	m.advance(idx)
+	if m.first < 0 {
+		return 0
+	}
 	var total int64
 	for _, v := range m.buf {
 		total += v
 	}
-	window := time.Duration(m.slots) * m.slot
-	return float64(total) / window.Seconds()
+	span := now - time.Duration(m.first)*m.slot
+	if span < m.slot {
+		span = m.slot
+	}
+	if window := time.Duration(m.slots) * m.slot; span > window {
+		span = window
+	}
+	return float64(total) / span.Seconds()
 }

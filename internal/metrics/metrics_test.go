@@ -116,9 +116,33 @@ func TestMeterWindowPartial(t *testing.T) {
 	m := NewMeter(time.Second, 5)
 	m.Mark(0, 100)
 	m.Mark(time.Second, 100)
-	// Window is 5s: 200 events -> 40/s.
-	if r := m.Rate(2 * time.Second); r != 40 {
-		t.Fatalf("rate = %v, want 40", r)
+	// Only 2s of the 5s window have elapsed since the first Mark: the
+	// denominator is the observed span, not the unfilled window.
+	if r := m.Rate(2 * time.Second); r != 100 {
+		t.Fatalf("rate = %v, want 100", r)
+	}
+}
+
+// TestMeterColdStart is the regression test for the window cold-start
+// bug: dividing by the full window before it has filled under-reported
+// rates by up to slots×, so the cluster manager's 140 FPS spare-capacity
+// check saw false spare capacity right after admission.
+func TestMeterColdStart(t *testing.T) {
+	m := NewMeter(time.Second, 5)
+	// A true rate of 200 events/s, marked every 100ms.
+	for i := 0; i <= 10; i++ {
+		m.Mark(time.Duration(i)*100*time.Millisecond, 20)
+	}
+	// One slot after the first Mark the reported rate must be within 10%
+	// of the true rate (the buggy full-window division reported 44).
+	r := m.Rate(time.Second)
+	if r < 180 || r > 220 {
+		t.Fatalf("cold-start rate = %v, want 200 +/- 10%%", r)
+	}
+	// Before any Mark the rate is zero, not NaN.
+	fresh := NewMeter(time.Second, 5)
+	if r := fresh.Rate(3 * time.Second); r != 0 {
+		t.Fatalf("unmarked meter rate = %v, want 0", r)
 	}
 }
 

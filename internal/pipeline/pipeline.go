@@ -82,6 +82,15 @@ const (
 	DropSNM
 	DropTYolo
 	Detected // reached and was analyzed by the reference model
+	// DropClosed marks a frame discarded because its downstream queue had
+	// been closed (e.g. a stream stopped for cluster re-forwarding while
+	// frames were in flight). Without this disposition such frames would
+	// vanish with no Record, leaving Done=false holes that silently skew
+	// accuracy and latency accounting.
+	DropClosed
+
+	// NumDispositions sizes per-disposition count arrays.
+	NumDispositions = 5
 )
 
 // String names the disposition.
@@ -93,6 +102,8 @@ func (d Disposition) String() string {
 		return "drop-snm"
 	case DropTYolo:
 		return "drop-t-yolo"
+	case DropClosed:
+		return "drop-closed"
 	default:
 		return "detected"
 	}
@@ -273,8 +284,12 @@ type streamState struct {
 	lastDone  time.Duration
 	ingestLag time.Duration // worst lateness vs. the capture schedule
 	curLag    time.Duration // most recent lateness (overload signal)
-	done      bool
-	stop      bool // set by StopStream; prefetch halts at next frame
+	// counts tallies decided frames by Disposition as they finish, so the
+	// live Snapshot can report per-stage drops before Report runs.
+	counts     [NumDispositions]int64
+	done       bool
+	stop       bool // set by StopStream; prefetch halts at next frame
+	ingestDone bool // prefetch exhausted its frames (or stopped)
 }
 
 // System is one FFS-VA instance: devices, queues, and stage processes for
@@ -299,17 +314,25 @@ type System struct {
 
 	start     time.Duration
 	end       time.Duration
-	tyMeter   *metrics.Meter
+	tyMeter   *metrics.SyncMeter
 	latency   *metrics.Histogram
 	refServed metrics.Counter
 
-	meterMu   sync.Locker // guards tyMeter
+	// reg is the system's metrics registry; Snapshot exports it. The
+	// named metrics below are cached handles into it.
+	reg       *metrics.Registry
+	ingestCtr *metrics.Counter        // frames_ingested_total
+	dispCtr   *metrics.LabeledCounter // frames_disposed_total{disposition}
+	orphanCtr *metrics.Counter        // frames_orphaned_total (no owning stream)
+	snmBatch  *metrics.IntDist        // snm_batch_size
+
 	recMu     sync.Locker // guards per-stream record bookkeeping
 	streamsMu sync.Locker // guards streams slice after Start
-	liveMu    sync.Locker // guards liveSNM and tyLive
+	liveMu    sync.Locker // guards liveSNM, tyLive and finished
 
-	started bool
-	liveSNM int // SNM stages still running + holds
+	started  bool
+	finished bool // refStage exited: no further frame can be decided
+	liveSNM  int  // SNM stages still running + holds
 }
 
 // New builds a System; Start launches its processes on the configured
@@ -339,12 +362,18 @@ func New(cfg Config, specs []StreamSpec) *System {
 		costs[device.ModelTYolo] = c
 		cfg.Costs = costs
 	}
+	reg := metrics.NewRegistry()
 	s := &System{
-		cfg:     cfg,
-		cpu:     device.New(cfg.Clock, "cpu", device.CPU, cfg.CPUSlots),
-		refQ:    queue.New[*frame.Frame](cfg.Clock, "ref", cfg.DepthRef),
-		tyMeter: metrics.NewMeter(time.Second, 5),
-		latency: metrics.NewHistogram(),
+		cfg:       cfg,
+		cpu:       device.New(cfg.Clock, "cpu", device.CPU, cfg.CPUSlots),
+		refQ:      queue.New[*frame.Frame](cfg.Clock, "ref", cfg.DepthRef),
+		tyMeter:   reg.Meter("tyolo_fps", time.Second, 5),
+		latency:   reg.Histogram("frame_latency"),
+		reg:       reg,
+		ingestCtr: reg.Counter("frames_ingested_total"),
+		dispCtr:   reg.LabeledCounter("frames_disposed_total"),
+		orphanCtr: reg.Counter("frames_orphaned_total"),
+		snmBatch:  reg.IntDist("snm_batch_size"),
 	}
 	for i := 0; i < cfg.FilterGPUs; i++ {
 		s.filterGPUs = append(s.filterGPUs, device.New(cfg.Clock, fmt.Sprintf("gpu%d", i), device.GPU, 1))
@@ -353,7 +382,6 @@ func New(cfg Config, specs []StreamSpec) *System {
 	for i := 0; i < cfg.FilterGPUs; i++ {
 		s.tyNotifies = append(s.tyNotifies, newNotify(cfg.Clock))
 	}
-	s.meterMu = cfg.Clock.NewLocker()
 	s.recMu = cfg.Clock.NewLocker()
 	s.streamsMu = cfg.Clock.NewLocker()
 	s.liveMu = cfg.Clock.NewLocker()

@@ -14,7 +14,7 @@ type StreamReport struct {
 	Frames   int
 	Ingested int64
 	// Counts indexes by Disposition.
-	Counts [4]int64
+	Counts [NumDispositions]int64
 	// FirstCapture/LastDone bound the stream's processing interval.
 	FirstCapture, LastDone time.Duration
 	// ExecTime is LastDone − FirstCapture (Fig. 6b's per-stream
@@ -98,11 +98,24 @@ func (s *System) Report() *Report {
 			sr.SpilledFrames = st.spill.Stats().Writes
 		}
 		torFrames := 0
+		var decided int64
 		for _, rec := range st.records {
-			sr.Counts[rec.Disposition]++
+			if rec.Done {
+				sr.Counts[rec.Disposition]++
+				decided++
+			}
 			if rec.TruthCount > 0 {
 				torFrames++
 			}
+		}
+		// Conservation invariant: after the clock has run to completion
+		// every ingested frame must carry a final disposition. A hole here
+		// means a stage discarded a frame without recording it (the bug
+		// the DropClosed disposition exists to prevent) and the accuracy
+		// and latency accounting would silently skew.
+		if decided != st.ingested {
+			panic(fmt.Sprintf("pipeline: stream %d: %d of %d ingested frames have no recorded disposition",
+				st.spec.ID, st.ingested-decided, st.ingested))
 		}
 		if len(st.records) > 0 {
 			sr.RealizedTOR = float64(torFrames) / float64(len(st.records))

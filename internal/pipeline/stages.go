@@ -14,9 +14,9 @@ import (
 // then runs the clock (clk.Run()) and finally collects Report().
 func (s *System) Start() {
 	clk := s.cfg.Clock
+	s.liveMu.Lock()
 	s.start = clk.Now()
 	s.started = true
-	s.liveMu.Lock()
 	s.liveSNM += len(s.streams)
 	s.tyLive = len(s.tyNotifies)
 	s.liveMu.Unlock()
@@ -49,7 +49,9 @@ func (s *System) spillDrainer(st *streamState) {
 		if !ok {
 			break
 		}
-		st.sddQ.Put(f)
+		if !st.sddQ.Put(f) {
+			s.finish(st, f, DropClosed, -1)
+		}
 		st.spill.Delivered()
 	}
 	st.sddQ.Close()
@@ -112,18 +114,28 @@ func (s *System) snapshotStreams() []*streamState {
 	return append([]*streamState(nil), s.streams...)
 }
 
-// lookupStream finds a stream by id.
-func (s *System) lookupStream(id int) *streamState {
+// lookupStream finds the stream fragment owning the given source
+// sequence number. A migrated continuation reuses its predecessor's id
+// with a later SeqBase, so in-flight frames of the stopped fragment must
+// still resolve to the fragment whose record window covers their seq —
+// otherwise their records would be silently lost.
+func (s *System) lookupStream(id int, seq int64) *streamState {
 	s.streamsMu.Lock()
 	defer s.streamsMu.Unlock()
-	// Scan back to front so a migrated continuation with a reused id
-	// shadows its stopped predecessor.
+	var fallback *streamState
 	for i := len(s.streams) - 1; i >= 0; i-- {
-		if s.streams[i].spec.ID == id {
-			return s.streams[i]
+		st := s.streams[i]
+		if st.spec.ID != id {
+			continue
+		}
+		if idx := seq - st.spec.SeqBase; idx >= 0 && idx < int64(len(st.records)) {
+			return st
+		}
+		if fallback == nil {
+			fallback = st
 		}
 	}
-	return nil
+	return fallback
 }
 
 // Run is a convenience for sole owners of the clock: Start, run the world
@@ -144,12 +156,6 @@ func (s *System) prefetch(st *streamState) {
 	interval := time.Second / time.Duration(st.spec.FPS)
 	epoch := clk.Now()
 	for i := 0; i < st.spec.Frames; i++ {
-		s.recMu.Lock()
-		stopped := st.stop
-		s.recMu.Unlock()
-		if stopped {
-			break // stream re-forwarded elsewhere
-		}
 		target := epoch + time.Duration(i)*interval
 		if s.cfg.Mode == Online {
 			if now := clk.Now(); now < target {
@@ -159,6 +165,16 @@ func (s *System) prefetch(st *streamState) {
 		if s.cfg.ChargeCosts {
 			s.cpu.Use(device.ModelDecode, 1, s.cfg.Costs)
 		}
+		// The stop check must be atomic with pulling the frame: StopStream
+		// reads ingested to size the continuation, so once it returns this
+		// prefetcher may not take another frame — a frame ingested after a
+		// stale pre-sleep check would be owned by both fragments and the
+		// continuation's last frame would fall outside its record window.
+		s.recMu.Lock()
+		if st.stop {
+			s.recMu.Unlock()
+			break // stream re-forwarded elsewhere
+		}
 		f := st.spec.Source.Next()
 		f.StreamID = st.spec.ID
 		f.Captured = clk.Now()
@@ -166,14 +182,16 @@ func (s *System) prefetch(st *streamState) {
 			st.firstCap = f.Captured
 		}
 		st.ingested++
+		s.recMu.Unlock()
+		s.ingestCtr.Inc()
 		if st.spill != nil {
 			// Spill keeps ingest non-blocking: while spilled frames are
 			// owed, new ones must also spill to preserve order.
 			if st.spill.Pending() > 0 || !st.sddQ.TryPut(f) {
 				st.spill.Write(f)
 			}
-		} else {
-			st.sddQ.Put(f)
+		} else if !st.sddQ.Put(f) {
+			s.finish(st, f, DropClosed, -1)
 		}
 		if s.cfg.Mode == Online {
 			// Lateness against the capture schedule: sustained growth
@@ -187,6 +205,12 @@ func (s *System) prefetch(st *streamState) {
 			s.recMu.Unlock()
 		}
 	}
+	// Ingest is over: clear the lateness signal so a finished stream's
+	// stale curLag cannot keep the instance looking overloaded forever.
+	s.recMu.Lock()
+	st.ingestDone = true
+	st.curLag = 0
+	s.recMu.Unlock()
 	if st.spill != nil {
 		st.spill.Close() // the drainer closes sddQ after re-injection
 	} else {
@@ -202,7 +226,9 @@ func (s *System) sddStage(st *streamState) {
 			break
 		}
 		if s.cfg.DisableSDD {
-			st.snmQ.Put(f)
+			if !st.snmQ.Put(f) {
+				s.finish(st, f, DropClosed, -1)
+			}
 			continue
 		}
 		if s.cfg.ChargeCosts {
@@ -211,8 +237,8 @@ func (s *System) sddStage(st *streamState) {
 		}
 		if st.spec.SDD.Process(f) == filters.Drop {
 			s.finish(st, f, DropSDD, -1)
-		} else {
-			st.snmQ.Put(f)
+		} else if !st.snmQ.Put(f) {
+			s.finish(st, f, DropClosed, -1)
 		}
 	}
 	st.snmQ.Close()
@@ -232,10 +258,14 @@ func (s *System) snmStage(st *streamState) {
 		if len(batch) == 0 {
 			break
 		}
+		s.snmBatch.Observe(len(batch))
 		if s.cfg.DisableSNM {
 			for _, f := range batch {
-				st.tyQ.Put(f)
-				s.tyNotifyFor(st).add(1)
+				if st.tyQ.Put(f) {
+					s.tyNotifyFor(st).add(1)
+				} else {
+					s.finish(st, f, DropClosed, -1)
+				}
 			}
 			continue
 		}
@@ -245,8 +275,12 @@ func (s *System) snmStage(st *streamState) {
 		}
 		for _, f := range batch {
 			if st.spec.SNM.Process(f) == filters.Pass {
-				st.tyQ.Put(f) // blocks at the T-YOLO depth threshold: feedback
-				s.tyNotifyFor(st).add(1)
+				// Blocks at the T-YOLO depth threshold: feedback.
+				if st.tyQ.Put(f) {
+					s.tyNotifyFor(st).add(1)
+				} else {
+					s.finish(st, f, DropClosed, -1)
+				}
 			} else {
 				s.finish(st, f, DropSNM, -1)
 			}
@@ -330,14 +364,14 @@ func (s *System) tyWorker(w int) {
 			}
 			for _, f := range batch {
 				if st.spec.TYolo.Process(f) == filters.Pass {
-					s.refQ.Put(f)
+					if !s.refQ.Put(f) {
+						s.finish(st, f, DropClosed, -1)
+					}
 				} else {
 					s.finish(st, f, DropTYolo, -1)
 				}
 			}
-			s.meterMu.Lock()
 			s.tyMeter.Mark(clk.Now(), int64(len(batch)))
-			s.meterMu.Unlock()
 		}
 	}
 	s.tyDone()
@@ -353,8 +387,11 @@ func (s *System) refStage() {
 		if s.cfg.ChargeCosts {
 			s.gpu1.Use(device.ModelRef, 1, s.cfg.Costs)
 		}
-		st := s.lookupStream(f.StreamID)
+		st := s.lookupStream(f.StreamID, f.Seq)
 		if st == nil {
+			// A frame whose stream is unknown cannot be recorded; count it
+			// so Report's conservation check can explain the hole.
+			s.orphanCtr.Inc()
 			continue
 		}
 		dets := s.cfg.Ref.Detect(f)
@@ -362,7 +399,18 @@ func (s *System) refStage() {
 		s.refServed.Inc()
 		s.finish(st, f, Detected, count)
 	}
+	s.liveMu.Lock()
 	s.end = s.cfg.Clock.Now()
+	s.finished = true
+	s.liveMu.Unlock()
+}
+
+// Finished reports whether the reference stage has exited, i.e. no
+// further frame can be decided. The periodic monitor uses it to stop.
+func (s *System) Finished() bool {
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	return s.finished
 }
 
 // finish records a frame's final disposition.
@@ -386,6 +434,7 @@ func (s *System) finish(st *streamState, f *frame.Frame, d Disposition, refCount
 		}
 	}
 	s.latency.Observe(rec.Decided - rec.Captured)
+	s.dispCtr.With(d.String()).Inc()
 	s.recMu.Lock()
 	if idx := f.Seq - st.spec.SeqBase; idx >= 0 && idx < int64(len(st.records)) {
 		st.records[idx] = rec
@@ -393,6 +442,7 @@ func (s *System) finish(st *streamState, f *frame.Frame, d Disposition, refCount
 	if rec.Decided > st.lastDone {
 		st.lastDone = rec.Decided
 	}
+	st.counts[d]++
 	st.done = true
 	s.recMu.Unlock()
 }
@@ -401,8 +451,6 @@ func (s *System) finish(st *streamState, f *frame.Frame, d Disposition, refCount
 // FPS over the meter window; the cluster manager compares it against the
 // paper's 140 FPS spare-capacity signal.
 func (s *System) TYoloRate() float64 {
-	s.meterMu.Lock()
-	defer s.meterMu.Unlock()
 	return s.tyMeter.Rate(s.cfg.Clock.Now())
 }
 
@@ -439,14 +487,16 @@ func (s *System) Overloaded() bool {
 
 // WorstLag reports the worst current ingest lateness across the
 // instance's online streams: the definitive "no longer real-time"
-// signal a cluster manager acts on.
+// signal a cluster manager acts on. Streams that have finished ingesting
+// (or were stopped) are excluded — a completed stream's stale lateness
+// must not keep the instance looking overloaded forever.
 func (s *System) WorstLag() time.Duration {
 	var worst time.Duration
 	streams := s.snapshotStreams()
 	s.recMu.Lock()
 	defer s.recMu.Unlock()
 	for _, st := range streams {
-		if !st.stop && st.curLag > worst {
+		if !st.stop && !st.ingestDone && st.curLag > worst {
 			worst = st.curLag
 		}
 	}

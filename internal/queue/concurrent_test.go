@@ -1,0 +1,171 @@
+package queue
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ffsva/internal/vclock"
+)
+
+// These tests run real goroutines against a real-clock queue; they exist
+// to be executed under -race (the virtual-clock tests are cooperative and
+// single-threaded, so they cannot surface data races).
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	clk := vclock.NewReal()
+	q := New[int](clk, "conc", 8)
+	const producers, perProducer, consumers = 4, 500, 4
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if !q.Put(p*perProducer + i) {
+					t.Errorf("Put failed on open queue")
+					return
+				}
+			}
+		}(p)
+	}
+	var consumed int64
+	var cg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				if _, ok := q.Get(); !ok {
+					return
+				}
+				atomic.AddInt64(&consumed, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	cg.Wait()
+
+	if consumed != producers*perProducer {
+		t.Fatalf("consumed %d items, want %d", consumed, producers*perProducer)
+	}
+	st := q.Stats()
+	if st.Puts != producers*perProducer || st.Gets != producers*perProducer {
+		t.Fatalf("stats puts/gets = %d/%d, want %d", st.Puts, st.Gets, producers*perProducer)
+	}
+	if st.MaxDepth > q.Cap() {
+		t.Fatalf("max depth %d exceeded capacity %d", st.MaxDepth, q.Cap())
+	}
+	if !st.Closed || st.Depth != 0 {
+		t.Fatalf("final stats: closed=%v depth=%d", st.Closed, st.Depth)
+	}
+}
+
+// TestConcurrentCloseAccounting closes the queue while producers race it
+// and verifies the ClosedPuts ledger: every attempted item is either
+// delivered to a consumer or counted as a closed put.
+func TestConcurrentCloseAccounting(t *testing.T) {
+	clk := vclock.NewReal()
+	q := New[int](clk, "close", 4)
+	const producers, perProducer = 8, 300
+
+	var accepted, rejected int64
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if q.Put(i) {
+					atomic.AddInt64(&accepted, 1)
+				} else {
+					atomic.AddInt64(&rejected, 1)
+				}
+			}
+		}()
+	}
+	var drained int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, ok := q.Get(); !ok {
+				return
+			}
+			n := atomic.AddInt64(&drained, 1)
+			if n == producers*perProducer/2 {
+				q.Close()
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if accepted+rejected != producers*perProducer {
+		t.Fatalf("accepted %d + rejected %d != attempted %d", accepted, rejected, producers*perProducer)
+	}
+	if drained != accepted {
+		t.Fatalf("drained %d != accepted %d: items lost or invented", drained, accepted)
+	}
+	st := q.Stats()
+	if st.ClosedPuts != rejected {
+		t.Fatalf("stats.ClosedPuts = %d, want %d", st.ClosedPuts, rejected)
+	}
+}
+
+// TestConcurrentStatsReaders hammers the observability accessors while
+// the queue is in motion; any unsynchronized read shows up under -race.
+func TestConcurrentStatsReaders(t *testing.T) {
+	clk := vclock.NewReal()
+	q := New[int](clk, "stats", 6)
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := q.Stats()
+				if st.Depth < 0 || st.Depth > st.Cap {
+					t.Errorf("inconsistent stats: %+v", st)
+					return
+				}
+				_ = q.Len()
+				_ = q.Full()
+				_ = q.Closed()
+				_ = q.Drained()
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			if i%3 == 0 {
+				q.TryPut(i)
+			} else {
+				q.Put(i)
+			}
+		}
+		q.Close()
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			if _, ok := q.Get(); !ok {
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+}

@@ -14,7 +14,8 @@ import (
 	"ffsva/internal/vclock"
 )
 
-// Stats is a snapshot of queue accounting.
+// Stats is a uniform snapshot of queue accounting and current state, the
+// shape every queue exposes to the pipeline's observability layer.
 type Stats struct {
 	Puts     int64
 	Gets     int64
@@ -22,6 +23,14 @@ type Stats struct {
 	// BlockedPuts counts Put calls that had to wait for space — the
 	// feedback signal propagating upstream.
 	BlockedPuts int64
+	// ClosedPuts counts Put/TryPut calls rejected because the queue was
+	// closed: every such item was discarded by the queue and must be
+	// accounted for by the caller.
+	ClosedPuts int64
+	// Depth, Cap and Closed describe the queue at snapshot time.
+	Depth  int
+	Cap    int
+	Closed bool
 }
 
 // Queue is a bounded FIFO of items with clock-integrated blocking.
@@ -70,11 +79,16 @@ func (q *Queue[T]) Full() bool {
 	return len(q.items) >= q.cap
 }
 
-// Stats returns accumulated accounting.
+// Stats returns accumulated accounting plus the queue's current depth,
+// capacity and closed state.
 func (q *Queue[T]) Stats() Stats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return q.stats
+	s := q.stats
+	s.Depth = len(q.items)
+	s.Cap = q.cap
+	s.Closed = q.closed
+	return s
 }
 
 // Put appends x, blocking while the queue is full. It returns false when
@@ -88,6 +102,7 @@ func (q *Queue[T]) Put(x T) bool {
 		q.space.Wait()
 	}
 	if q.closed {
+		q.stats.ClosedPuts++
 		return false
 	}
 	if blocked {
@@ -107,7 +122,11 @@ func (q *Queue[T]) Put(x T) bool {
 func (q *Queue[T]) TryPut(x T) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if q.closed || len(q.items) >= q.cap {
+	if q.closed {
+		q.stats.ClosedPuts++
+		return false
+	}
+	if len(q.items) >= q.cap {
 		return false
 	}
 	q.items = append(q.items, x)
