@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race ci bench
+.PHONY: all build vet test race ci bench bench-all
 
 all: build
 
@@ -21,14 +21,21 @@ vet:
 test:
 	$(GO) test ./...
 
-# The packages whose tests exercise real goroutines against shared state.
+# The packages whose tests exercise real goroutines against shared state:
+# the queues and pipeline (real-clock paths), and the parallel compute
+# kernels with their pooled buffers (worker pool, tensor/frame pools).
 race:
-	$(GO) test -race ./internal/queue ./internal/pipeline
+	$(GO) test -race ./internal/queue ./internal/pipeline ./internal/par ./internal/nn ./internal/detect
 
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
+# bench records kernel-level serial-vs-parallel throughput and a
+# wall-clock end-to-end FPS figure to BENCH_kernels.json.
 bench:
+	$(GO) run ./cmd/ffsbench -only kernels -scale quick
+
+bench-all:
 	$(GO) run ./cmd/ffsbench -scale quick

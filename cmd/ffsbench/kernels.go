@@ -1,0 +1,221 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"ffsva/internal/detect"
+	"ffsva/internal/experiments"
+	"ffsva/internal/filters"
+	"ffsva/internal/frame"
+	"ffsva/internal/imgproc"
+	"ffsva/internal/nn"
+	"ffsva/internal/par"
+	"ffsva/internal/train"
+
+	"ffsva"
+)
+
+// kernelResult is one kernel's serial-vs-parallel measurement.
+type kernelResult struct {
+	Name         string  `json:"name"`
+	SerialNsOp   float64 `json:"serial_ns_per_op"`
+	ParallelNsOp float64 `json:"parallel_ns_per_op"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// endToEndResult is a small whole-pipeline wall-clock run.
+type endToEndResult struct {
+	Frames      int64   `json:"frames"`
+	SerialFPS   float64 `json:"serial_fps"`
+	ParallelFPS float64 `json:"parallel_fps"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// kernelReport is the BENCH_kernels.json document.
+type kernelReport struct {
+	Generated  string          `json:"generated"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Workers    int             `json:"workers"`
+	Kernels    []kernelResult  `json:"kernels"`
+	EndToEnd   *endToEndResult `json:"end_to_end,omitempty"`
+}
+
+func (r *kernelReport) Tables() []*experiments.Table {
+	t := &experiments.Table{
+		ID:      "kernels",
+		Title:   "compute-kernel throughput, serial vs parallel",
+		Columns: []string{"kernel", "serial ns/op", "parallel ns/op", "speedup"},
+		Notes: []string{
+			"serial pins the worker pool to 1; parallel uses GOMAXPROCS workers",
+			"written to " + benchKernelsPath,
+		},
+	}
+	for _, k := range r.Kernels {
+		t.Rows = append(t.Rows, []string{
+			k.Name,
+			fmt.Sprintf("%.0f", k.SerialNsOp),
+			fmt.Sprintf("%.0f", k.ParallelNsOp),
+			fmt.Sprintf("%.2fx", k.Speedup),
+		})
+	}
+	if r.EndToEnd != nil {
+		t.Rows = append(t.Rows, []string{
+			"end-to-end (wall clock)",
+			fmt.Sprintf("%.1f fps", r.EndToEnd.SerialFPS),
+			fmt.Sprintf("%.1f fps", r.EndToEnd.ParallelFPS),
+			fmt.Sprintf("%.2fx", r.EndToEnd.Speedup),
+		})
+	}
+	return []*experiments.Table{t}
+}
+
+const benchKernelsPath = "BENCH_kernels.json"
+
+// measure runs body repeatedly until it has consumed at least minDur of
+// wall time and returns the mean ns per call.
+func measure(minDur time.Duration, body func()) float64 {
+	body() // warm caches and pools outside the timed region
+	var (
+		n     int
+		total time.Duration
+	)
+	for total < minDur {
+		batch := 1 + n/2
+		start := time.Now()
+		for i := 0; i < batch; i++ {
+			body()
+		}
+		total += time.Since(start)
+		n += batch
+	}
+	return float64(total.Nanoseconds()) / float64(n)
+}
+
+// serialVsParallel measures body under a single pool worker and under
+// the full pool.
+func serialVsParallel(name string, minDur time.Duration, body func()) kernelResult {
+	prev := par.SetWorkers(1)
+	serial := measure(minDur, body)
+	par.SetWorkers(prev)
+	parallel := measure(minDur, body)
+	k := kernelResult{Name: name, SerialNsOp: serial, ParallelNsOp: parallel}
+	if parallel > 0 {
+		k.Speedup = serial / parallel
+	}
+	return k
+}
+
+// runKernels benchmarks the hot compute kernels the filter cascade is
+// built from — serial versus pool-parallel — plus a small wall-clock
+// end-to-end run, and writes the results to BENCH_kernels.json.
+func runKernels(scale experiments.Scale) (tabler, error) {
+	rng := rand.New(rand.NewSource(7))
+	minDur := 200 * time.Millisecond
+	if scale.Name == "full" {
+		minDur = time.Second
+	}
+
+	rep := &kernelReport{
+		Generated:  time.Now().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    par.Workers(),
+	}
+
+	// SNM forward, dynamic batch of 8 (the pipeline's pooled
+	// multi-sample inference path).
+	snm := train.NewSNMNet(rng)
+	batch := nn.NewTensor(8, 1, filters.SNMSize, filters.SNMSize)
+	for i := range batch.Data {
+		batch.Data[i] = rng.Float32()*2 - 1
+	}
+	rep.Kernels = append(rep.Kernels, serialVsParallel("snm_forward_batch8", minDur, func() {
+		snm.Infer(batch).Release()
+	}))
+
+	// SDD kernel: downsample a capture-resolution frame to 100×100 and
+	// score it against the running reference (the per-frame work of the
+	// cascade's first stage).
+	src := imgproc.NewGray(600, 400)
+	for i := range src.Pix {
+		src.Pix[i] = uint8(rng.Intn(256))
+	}
+	ref := imgproc.NewGray(filters.SDDSize, filters.SDDSize)
+	for i := range ref.Pix {
+		ref.Pix[i] = uint8(rng.Intn(256))
+	}
+	small := imgproc.NewGray(filters.SDDSize, filters.SDDSize)
+	rep.Kernels = append(rep.Kernels, serialVsParallel("sdd_resize_mse_100", minDur, func() {
+		imgproc.ResizeInto(src, small)
+		imgproc.MSE(small, ref)
+	}))
+
+	// Full-resolution MSE: the chunked-reduction kernel on a plane big
+	// enough to shard (the 100×100 SDD plane fits in one chunk).
+	src2 := imgproc.NewGray(600, 400)
+	for i := range src2.Pix {
+		src2.Pix[i] = uint8(rng.Intn(256))
+	}
+	rep.Kernels = append(rep.Kernels, serialVsParallel("mse_600x400", minDur, func() {
+		imgproc.MSE(src, src2)
+	}))
+
+	// Shared T-YOLO substitute on a capture-resolution frame.
+	tg := detect.NewTinyGrid(detect.DefaultTinyGridConfig())
+	tf := frame.New(600, 400)
+	for i := range tf.Pix {
+		tf.Pix[i] = uint8(rng.Intn(256))
+	}
+	rep.Kernels = append(rep.Kernels, serialVsParallel("tinygrid_detect_600x400", minDur, func() {
+		tg.Detect(tf)
+	}))
+
+	// Wall-clock end-to-end: a small offline virtual-clock run, timed in
+	// real time (the virtual clock advances as fast as the host computes,
+	// so wall-clock FPS reflects kernel throughput).
+	cfg := ffsva.DefaultConfig()
+	cfg.Streams = 2
+	cfg.FramesPerStream = scale.OfflineFrames / 2
+	if cfg.FramesPerStream < 100 {
+		cfg.FramesPerStream = 100
+	}
+	e2e := func() (int64, float64, error) {
+		start := time.Now()
+		res, err := ffsva.Run(cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		sec := time.Since(start).Seconds()
+		return res.Pipeline.TotalFrames, float64(res.Pipeline.TotalFrames) / sec, nil
+	}
+	if _, _, err := e2e(); err != nil { // warm model caches
+		return nil, err
+	}
+	prev := par.SetWorkers(1)
+	frames, serialFPS, err := e2e()
+	par.SetWorkers(prev)
+	if err != nil {
+		return nil, err
+	}
+	_, parallelFPS, err := e2e()
+	if err != nil {
+		return nil, err
+	}
+	rep.EndToEnd = &endToEndResult{Frames: frames, SerialFPS: serialFPS, ParallelFPS: parallelFPS}
+	if serialFPS > 0 {
+		rep.EndToEnd.Speedup = parallelFPS / serialFPS
+	}
+
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(benchKernelsPath, append(doc, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

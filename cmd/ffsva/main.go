@@ -8,6 +8,16 @@
 //	      [-mode offline|online] [-batch-policy dynamic|feedback|static]
 //	      [-batch 10] [-filter-degree 0.5] [-objects 1] [-tolerance 0]
 //	      [-real] [-metrics 1s] [-metrics-json]
+//	      [-instances 2] [-arrival-every 2s]
+//
+// -instances greater than one runs the multi-instance layer (§4.3)
+// instead of a single pipeline: streams arrive -arrival-every apart and
+// a manager places each on the instance with spare capacity,
+// re-forwarding streams off overloaded instances.
+//
+// Interrupting the process (Ctrl-C) cancels the run cleanly: ingest
+// stops at frame boundaries, in-flight frames drain, and the partial
+// report is printed with a "cancelled" marker.
 //
 // -metrics attaches the pipeline's periodic observability monitor: every
 // interval a live snapshot (queue depths, feedback blocked-puts, drops by
@@ -21,9 +31,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
 	"ffsva"
 )
@@ -45,6 +58,8 @@ func main() {
 	flag.Int64Var(&cfg.Seed, "seed", 1, "stream dynamics seed")
 	metricsEvery := flag.Duration("metrics", 0, "dump a pipeline snapshot to stderr every interval (0 disables)")
 	metricsJSON := flag.Bool("metrics-json", false, "emit -metrics snapshots as JSON lines")
+	instances := flag.Int("instances", 1, "FFS-VA instances; >1 runs the multi-instance cluster")
+	arrivalEvery := flag.Duration("arrival-every", 2*time.Second, "stream arrival spacing in cluster mode")
 	flag.Parse()
 
 	switch *workload {
@@ -83,13 +98,54 @@ func main() {
 		cfg.MetricsOut = os.Stderr
 	}
 
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "ffsva: %v\n", err)
+		os.Exit(2)
+	}
+
+	// Ctrl-C cancels the run cleanly through the context-aware API.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *instances > 1 {
+		ccfg := ffsva.ClusterConfig{Config: cfg, Instances: *instances, ArrivalEvery: *arrivalEvery}
+		ccfg.Mode = ffsva.Online
+		if err := ccfg.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "ffsva: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("training stream-specialized models (cached after first run)...\n")
+		rep, err := ffsva.RunClusterContext(ctx, ccfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ffsva: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if rep.Cancelled {
+			fmt.Println("run cancelled — partial report:")
+		}
+		fmt.Printf("cluster: %d instances, %d admissions, %d re-forwards, realtime=%v\n",
+			len(rep.Instances), rep.Admissions(), rep.Reforwards(), rep.Realtime)
+		for i, ir := range rep.Instances {
+			fmt.Printf("  instance %d: %v\n", i, ir)
+		}
+		fmt.Println("  frames decided per stream:")
+		for id := 0; id < cfg.Streams; id++ {
+			fmt.Printf("    stream %d: %d\n", id, rep.StreamFrames[id])
+		}
+		return
+	}
+
 	fmt.Printf("training stream-specialized models (cached after first run)...\n")
-	res, err := ffsva.Run(cfg)
+	res, err := ffsva.RunContext(ctx, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ffsva: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Println()
+	if res.Cancelled {
+		fmt.Println("run cancelled — partial report:")
+	}
 	fmt.Println(res.Pipeline)
 	fmt.Println()
 	fmt.Printf("accuracy: %v\n", res.Accuracy)

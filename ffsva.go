@@ -33,6 +33,9 @@
 package ffsva
 
 import (
+	"context"
+
+	"ffsva/internal/cluster"
 	"ffsva/internal/core"
 	"ffsva/internal/pipeline"
 )
@@ -43,6 +46,12 @@ type (
 	Config = core.Config
 	// Result bundles performance and accuracy outcomes.
 	Result = core.Result
+	// ClusterConfig describes a multi-instance run (§4.3): the same
+	// workload description as Config plus an instance count and a
+	// stream arrival cadence.
+	ClusterConfig = core.ClusterConfig
+	// ClusterReport aggregates a finished multi-instance run.
+	ClusterReport = cluster.Report
 	// Accuracy is the paper's accuracy accounting.
 	Accuracy = core.Accuracy
 	// Report is the pipeline performance report.
@@ -89,14 +98,56 @@ const (
 	DropClosed = pipeline.DropClosed
 )
 
+// Configuration validation sentinels. Config.Validate (called by Run,
+// RunContext, and the cluster entry points) wraps these with the
+// offending value; branch on them with errors.Is.
+var (
+	ErrBadStreams         = core.ErrBadStreams
+	ErrBadFrames          = core.ErrBadFrames
+	ErrBadTOR             = core.ErrBadTOR
+	ErrBadFilterDegree    = core.ErrBadFilterDegree
+	ErrBadBatchSize       = core.ErrBadBatchSize
+	ErrBadWorkload        = core.ErrBadWorkload
+	ErrBadTolerance       = core.ErrBadTolerance
+	ErrBadNumberOfObjects = core.ErrBadNumberOfObjects
+	ErrBadInstances       = core.ErrBadInstances
+)
+
 // DefaultConfig returns a ready-to-run configuration (one offline car
 // stream at TOR 0.10 under the deterministic virtual clock).
 func DefaultConfig() Config { return core.DefaultConfig() }
 
+// DefaultClusterConfig returns a ready-to-run two-instance
+// configuration with four streams arriving two seconds apart.
+func DefaultClusterConfig() ClusterConfig { return core.DefaultClusterConfig() }
+
 // Run executes a complete FFS-VA run: train (cached) per-camera models,
 // assemble the pipelined system, process every stream, and analyze
-// accuracy against ground truth.
+// accuracy against ground truth. It is RunContext with a background
+// context.
 func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// RunContext is Run with cancellation. When ctx is cancelled mid-run,
+// ingest stops at each stream's next frame boundary, frames already in
+// flight drain through the cascade to a final disposition, and the
+// partial Result comes back with Cancelled set and a nil error — the
+// partial numbers are internally consistent. Cancellation before the
+// pipeline starts returns ctx.Err() instead.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	return core.RunContext(ctx, cfg)
+}
+
+// RunCluster spreads the configured streams over a multi-instance
+// cluster (§4.3) — arrivals placed on the instance with spare capacity,
+// streams re-forwarded off overloaded instances — and returns the
+// cluster report.
+func RunCluster(cfg ClusterConfig) (*ClusterReport, error) { return core.RunCluster(cfg) }
+
+// RunClusterContext is RunCluster with cancellation, with the same
+// partial-result semantics as RunContext.
+func RunClusterContext(ctx context.Context, cfg ClusterConfig) (*ClusterReport, error) {
+	return core.RunClusterContext(ctx, cfg)
+}
 
 // Analyze computes the paper's accuracy accounting for one stream's
 // records with the given event-intensity threshold.

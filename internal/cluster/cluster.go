@@ -8,8 +8,10 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"ffsva/internal/detect"
@@ -110,6 +112,12 @@ type Cluster struct {
 	counts []int                       // active streams per instance
 	over   []int                       // consecutive overload observations
 	events []Event
+
+	// cancelled stops admission and instance ingest (context
+	// cancellation); managerDone lets the context watcher exit once the
+	// manager has finished, so the clock can drain.
+	cancelled   atomic.Bool
+	managerDone atomic.Bool
 }
 
 // New builds a cluster; Run executes it to completion.
@@ -137,16 +145,49 @@ func New(cfg Config, arrivals []Arrival) *Cluster {
 }
 
 // Run starts every instance, processes arrivals and monitors overload
-// until the horizon, then lets the world drain and reports.
+// until the horizon, then lets the world drain and reports. It is
+// RunContext with a background context.
 func (c *Cluster) Run() *Report {
+	return c.RunContext(context.Background())
+}
+
+// ctxPollInterval matches core's cancellation sampling period: cheap
+// under the virtual clock, bounded latency under the real one.
+const ctxPollInterval = 10 * time.Millisecond
+
+// RunContext is Run with cancellation: when ctx is cancelled mid-run,
+// no further arrivals are admitted, every instance's streams halt
+// ingest at their next frame boundary, in-flight frames drain, and the
+// Report comes back with Cancelled set. Each stream fragment still
+// satisfies the frame-conservation invariant.
+func (c *Cluster) RunContext(ctx context.Context) *Report {
 	clk := c.cfg.Clock
 	for _, inst := range c.instances {
 		inst.Hold()
 		inst.Start()
 	}
+	if ctx.Done() != nil {
+		clk.Go("cluster-ctx-watch", func() {
+			for !c.managerDone.Load() {
+				if ctx.Err() != nil {
+					c.cancel()
+					return
+				}
+				clk.Sleep(ctxPollInterval)
+			}
+		})
+	}
 	clk.Go("cluster-manager", c.manage)
 	clk.Run()
 	return c.report()
+}
+
+// cancel stops admission and halts ingest on every instance.
+func (c *Cluster) cancel() {
+	c.cancelled.Store(true)
+	for _, inst := range c.instances {
+		inst.CancelAll()
+	}
 }
 
 // observe samples every instance's pipeline snapshot once per manager
@@ -196,6 +237,11 @@ func (c *Cluster) manage() {
 	clk := c.cfg.Clock
 	next := 0
 	for clk.Now() < c.cfg.Horizon {
+		if c.cancelled.Load() {
+			// Context cancelled: the watcher already stopped every
+			// instance's ingest; stop admitting and let the world drain.
+			break
+		}
 		// One consistent observation of every instance per tick.
 		snaps := c.observe()
 		// Admit any due arrivals.
@@ -238,6 +284,7 @@ func (c *Cluster) manage() {
 	for _, inst := range c.instances {
 		inst.Release()
 	}
+	c.managerDone.Store(true)
 }
 
 // leastLoadedExcept returns the least-loaded non-overloaded instance
@@ -306,10 +353,14 @@ type Report struct {
 	StreamFrames map[int]int64
 	// Realtime reports whether every fragment held its schedule.
 	Realtime bool
+	// Cancelled marks a run stopped early by context cancellation; the
+	// per-instance reports cover the frames processed up to the stop.
+	Cancelled bool
 }
 
 func (c *Cluster) report() *Report {
-	r := &Report{Events: c.events, StreamFrames: make(map[int]int64), Realtime: true}
+	r := &Report{Events: c.events, StreamFrames: make(map[int]int64), Realtime: true,
+		Cancelled: c.cancelled.Load()}
 	for _, inst := range c.instances {
 		ir := inst.Report()
 		r.Instances = append(r.Instances, ir)

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"ffsva/internal/cluster"
+	"ffsva/internal/detect"
+	"ffsva/internal/lab"
+	"ffsva/internal/pipeline"
+	"ffsva/internal/vclock"
+)
+
+// ErrBadInstances marks a non-positive cluster instance count.
+var ErrBadInstances = errors.New("core: Instances must be positive")
+
+// ClusterConfig describes a multi-instance run assembled from the same
+// workload description as a single-instance Config. Streams arrive one
+// by one and the cluster manager places each on the instance with spare
+// capacity, re-forwarding streams off overloaded instances (§4.3).
+type ClusterConfig struct {
+	// Config is the shared workload description. Mode is forced Online:
+	// the multi-instance manager's signals (ingest lag, capture backlog)
+	// only exist under online pacing.
+	Config
+	// Instances is the number of FFS-VA instances (one server each).
+	Instances int
+	// ArrivalEvery staggers stream admissions; 0 admits everything at
+	// the start.
+	ArrivalEvery time.Duration
+}
+
+// DefaultClusterConfig returns a two-instance configuration over the
+// standard workload, with streams arriving two seconds apart.
+func DefaultClusterConfig() ClusterConfig {
+	cfg := DefaultConfig()
+	cfg.Mode = pipeline.Online
+	cfg.Streams = 4
+	return ClusterConfig{Config: cfg, Instances: 2, ArrivalEvery: 2 * time.Second}
+}
+
+// Validate extends Config.Validate with the cluster fields.
+func (c ClusterConfig) Validate() error {
+	if err := c.Config.Validate(); err != nil {
+		return err
+	}
+	if c.Instances <= 0 {
+		return fmt.Errorf("%w, have %d", ErrBadInstances, c.Instances)
+	}
+	if c.ArrivalEvery < 0 {
+		return fmt.Errorf("core: ArrivalEvery must not be negative, have %v", c.ArrivalEvery)
+	}
+	return nil
+}
+
+// RunCluster trains the workload's camera models, spreads the
+// configured streams over a multi-instance cluster, runs it to
+// completion, and returns the cluster report. It is RunClusterContext
+// with a background context.
+func RunCluster(cfg ClusterConfig) (*cluster.Report, error) {
+	return RunClusterContext(context.Background(), cfg)
+}
+
+// RunClusterContext is RunCluster with cancellation, with the same
+// semantics as RunContext: a mid-run cancel stops admission and ingest
+// at frame boundaries, drains in-flight frames, and reports the partial
+// run with Cancelled set.
+func RunClusterContext(ctx context.Context, cfg ClusterConfig) (*cluster.Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var cam *lab.Camera
+	var err error
+	switch cfg.Workload {
+	case WorkloadPerson:
+		cam, err = lab.PersonCamera(cfg.TOR)
+	default:
+		cam, err = lab.CarCamera(cfg.TOR)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	var clk vclock.Clock
+	if cfg.Virtual {
+		clk = vclock.NewVirtual()
+	} else {
+		clk = vclock.NewReal()
+	}
+	ccfg := cluster.DefaultConfig(clk, cfg.Instances)
+	ccfg.Pipeline.BatchPolicy = cfg.BatchPolicy
+	if cfg.BatchSize > 0 {
+		ccfg.Pipeline.BatchSize = cfg.BatchSize
+	}
+	ccfg.Pipeline.ChargeCosts = cfg.ChargeCosts
+
+	// The manager must outlive the last arrival plus a full stream
+	// duration (30 FPS pacing), with slack for backlog drain.
+	lastArrival := time.Duration(cfg.Streams-1) * cfg.ArrivalEvery
+	streamDur := time.Duration(cfg.FramesPerStream) * time.Second / 30
+	ccfg.Horizon = lastArrival + streamDur + streamDur/2 + 10*time.Second
+
+	arrivals := make([]cluster.Arrival, cfg.Streams)
+	for i := 0; i < cfg.Streams; i++ {
+		i := i
+		arrivals[i] = cluster.Arrival{
+			At: time.Duration(i) * cfg.ArrivalEvery,
+			ID: i,
+			Make: func(tg *detect.TinyGrid) pipeline.StreamSpec {
+				return cam.Stream(i, tg, lab.StreamOptions{
+					Seed:            streamSeed(cfg.Seed, i),
+					Frames:          cfg.FramesPerStream,
+					FilterDegree:    cfg.FilterDegree,
+					HasFilterDegree: true,
+					NumberOfObjects: cfg.NumberOfObjects,
+					Tolerance:       cfg.Tolerance,
+				})
+			},
+		}
+	}
+	return cluster.New(ccfg, arrivals).RunContext(ctx), nil
+}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -89,17 +90,34 @@ func DefaultConfig() Config {
 type Result struct {
 	Pipeline *pipeline.Report
 	Accuracy Accuracy
+	// Cancelled marks a run stopped early by context cancellation. The
+	// result is still internally consistent: ingest stopped at a frame
+	// boundary and every ingested frame drained to a final disposition,
+	// so the report and accuracy cover exactly the frames processed.
+	Cancelled bool
 }
 
 // Run trains (or reuses cached) models for the workload's camera, builds
-// the system, runs it to completion, and analyzes accuracy.
+// the system, runs it to completion, and analyzes accuracy. It is
+// RunContext with a background context.
 func Run(cfg Config) (*Result, error) {
-	if cfg.Streams <= 0 || cfg.FramesPerStream <= 0 {
-		return nil, fmt.Errorf("core: need positive Streams and FramesPerStream, have %d/%d",
-			cfg.Streams, cfg.FramesPerStream)
-	}
-	if cfg.TOR < 0 || cfg.TOR > 1 {
-		return nil, fmt.Errorf("core: TOR %v out of [0,1]", cfg.TOR)
+	return RunContext(context.Background(), cfg)
+}
+
+// ctxPollInterval is how often the cancellation watcher samples the
+// context. Under the virtual clock this is simulated time — polling is
+// free — and under the real clock it bounds cancellation latency.
+const ctxPollInterval = 10 * time.Millisecond
+
+// RunContext is Run with cancellation: when ctx is cancelled mid-run,
+// every stream's ingest halts at its next frame boundary, frames
+// already in flight drain through the cascade, and the partial Result
+// comes back with Cancelled set (and a nil error — the partial result
+// is valid). Cancellation before the pipeline starts returns ctx.Err()
+// instead.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	var cam *lab.Camera
 	var err error
@@ -110,6 +128,9 @@ func Run(cfg Config) (*Result, error) {
 		cam, err = lab.CarCamera(cfg.TOR)
 	}
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
@@ -131,7 +152,7 @@ func Run(cfg Config) (*Result, error) {
 	specs := make([]pipeline.StreamSpec, cfg.Streams)
 	for i := 0; i < cfg.Streams; i++ {
 		specs[i] = cam.Stream(i, tg, lab.StreamOptions{
-			Seed:            cfg.Seed*1_000_003 + int64(i)*7919,
+			Seed:            streamSeed(cfg.Seed, i),
 			Frames:          cfg.FramesPerStream,
 			FilterDegree:    cfg.FilterDegree,
 			HasFilterDegree: true,
@@ -150,9 +171,24 @@ func Run(cfg Config) (*Result, error) {
 			}
 		})
 	}
+	if ctx.Done() != nil {
+		// Watcher process: polls the context on the run's clock so it
+		// works identically under virtual and real time (a virtual run
+		// cannot block on the context's channel — simulated time would
+		// stall), and exits with the pipeline so the clock can drain.
+		clk.Go("ctx-watch", func() {
+			for !sys.Finished() {
+				if ctx.Err() != nil {
+					sys.CancelAll()
+					return
+				}
+				clk.Sleep(ctxPollInterval)
+			}
+		})
+	}
 	rep := sys.Run()
 
-	res := &Result{Pipeline: rep}
+	res := &Result{Pipeline: rep, Cancelled: rep.Cancelled}
 	for _, sr := range rep.Streams {
 		res.Accuracy.Merge(Analyze(sr.Records, cfg.NumberOfObjects))
 	}

@@ -21,6 +21,7 @@ import (
 
 	"ffsva/internal/frame"
 	"ffsva/internal/imgproc"
+	"ffsva/internal/par"
 )
 
 // Detection is one detected object instance.
@@ -125,10 +126,16 @@ func (t *TinyGrid) SetBackground(streamID int, bg *imgproc.Gray) {
 	t.mu.Unlock()
 }
 
-// Detect implements Detector.
+// Detect implements Detector. The per-pixel stages — resize, foreground
+// difference, background EMA, blur, binarize — shard over the par
+// worker pool; component labeling and classification are a tiny
+// fraction of the work and stay serial. Scratch images come from the
+// image pool, so a warm detector allocates only its detections.
 func (t *TinyGrid) Detect(f *frame.Frame) []Detection {
 	size := t.cfg.InputSize
-	small := imgproc.Resize(imgproc.FromFrame(f), size, size)
+	small := imgproc.GetGray(size, size)
+	defer small.Release()
+	imgproc.ResizeInto(imgproc.FromFrame(f), small)
 
 	t.mu.Lock()
 	st, ok := t.bg[f.StreamID]
@@ -141,31 +148,38 @@ func (t *TinyGrid) Detect(f *frame.Frame) []Detection {
 	}
 	t.mu.Unlock()
 
-	// Foreground difference against the running background.
-	diff := imgproc.NewGray(size, size)
-	for i, p := range small.Pix {
-		d := float64(p) - st.ema[i]
-		if d < 0 {
-			d = -d
-		}
-		if d > 255 {
-			d = 255
-		}
-		diff.Pix[i] = uint8(d)
-	}
-
-	// Background adaptation: slow EMA tracks illumination drift. During
-	// warmup adapt faster so a cold detector converges.
+	// Foreground difference against the running background, fused with
+	// the background EMA update: both walk the same pixels and each
+	// index touches only its own diff/ema slots, so the fused loop
+	// shards cleanly. Warmup adapts faster so a cold detector converges.
 	alpha := t.cfg.BGAlpha
 	if st.frames < 50 {
 		alpha = 0.15
 	}
 	st.frames++
-	for i, p := range small.Pix {
-		st.ema[i] += alpha * (float64(p) - st.ema[i])
-	}
+	diff := imgproc.GetGray(size, size)
+	defer diff.Release()
+	par.For(len(small.Pix), 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := float64(small.Pix[i])
+			d := p - st.ema[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > 255 {
+				d = 255
+			}
+			diff.Pix[i] = uint8(d)
+			st.ema[i] += alpha * (p - st.ema[i])
+		}
+	})
 
-	mask := imgproc.Binarize(imgproc.BoxBlur3(diff), t.cfg.DiffThresh)
+	blur := imgproc.GetGray(size, size)
+	imgproc.BoxBlur3Into(diff, blur)
+	mask := imgproc.GetGray(size, size)
+	imgproc.BinarizeInto(blur, t.cfg.DiffThresh, mask)
+	blur.Release()
+	defer mask.Release()
 	comps := imgproc.ConnectedComponents(mask, t.cfg.MinArea)
 
 	dets := make([]Detection, 0, len(comps))

@@ -103,6 +103,14 @@ type SDD struct {
 	CompensateLum bool
 	stats         Stats
 	lastD         float64
+
+	// Persistent per-stream scratch: the resize target and the
+	// materialized reference. refDirty marks the reference stale after
+	// an EMA update. Reusing these removes the two image allocations
+	// the paper's hottest filter would otherwise make per frame.
+	small    *imgproc.Gray
+	refImg   *imgproc.Gray
+	refDirty bool
 }
 
 // NewSDD builds an SDD from a trained reference image (at any size; it is
@@ -169,31 +177,42 @@ func (s *SDD) Stats() Stats { return s.stats }
 // for threshold diagnostics.
 func (s *SDD) LastDistance() float64 { return s.lastD }
 
-// refGray materializes the running reference as an image.
+// refGray materializes the running reference into the persistent
+// scratch image, refreshing it only after EMA updates.
 func (s *SDD) refGray() *imgproc.Gray {
-	g := imgproc.NewGray(SDDSize, SDDSize)
-	for i, v := range s.ref {
-		if v < 0 {
-			v = 0
-		} else if v > 255 {
-			v = 255
-		}
-		g.Pix[i] = uint8(v + 0.5)
+	if s.refImg == nil {
+		s.refImg = imgproc.NewGray(SDDSize, SDDSize)
+		s.refDirty = true
 	}
-	return g
+	if s.refDirty {
+		for i, v := range s.ref {
+			if v < 0 {
+				v = 0
+			} else if v > 255 {
+				v = 255
+			}
+			s.refImg.Pix[i] = uint8(v + 0.5)
+		}
+		s.refDirty = false
+	}
+	return s.refImg
 }
 
 // Process implements Filter: drop when the frame is background.
 func (s *SDD) Process(f *frame.Frame) Verdict {
 	s.stats.Processed++
-	small := imgproc.Resize(imgproc.FromFrame(f), SDDSize, SDDSize)
-	d := Distance(small, s.refGray(), s.Metric, s.CompensateLum)
+	if s.small == nil {
+		s.small = imgproc.NewGray(SDDSize, SDDSize)
+	}
+	imgproc.ResizeInto(imgproc.FromFrame(f), s.small)
+	d := Distance(s.small, s.refGray(), s.Metric, s.CompensateLum)
 	s.lastD = d
 	if d <= s.Delta {
 		// Background: adapt the reference.
-		for i, p := range small.Pix {
+		for i, p := range s.small.Pix {
 			s.ref[i] += s.Alpha * (float64(p) - s.ref[i])
 		}
+		s.refDirty = true
 		return Drop
 	}
 	s.stats.Passed++
@@ -254,16 +273,41 @@ func GrayInput(g *imgproc.Gray) *nn.Tensor {
 		g = imgproc.Resize(g, SNMSize, SNMSize)
 	}
 	x := nn.NewTensor(1, 1, SNMSize, SNMSize)
-	for i, p := range g.Pix {
-		x.Data[i] = float32(p)/127.5 - 1
-	}
+	normalizeInto(x.Data, g.Pix)
 	return x
 }
 
-// Prob returns the predicted target probability for a frame.
+// normalizeInto maps 8-bit pixels to [-1, 1] floats; every element of
+// dst is written, so dst may be dirty pooled storage.
+func normalizeInto(dst []float32, pix []uint8) {
+	for i, p := range pix {
+		dst[i] = float32(p)/127.5 - 1
+	}
+}
+
+// pooledInput converts a frame batch to one pooled multi-sample input
+// tensor, reusing a single pooled resize target. The caller releases
+// the tensor.
+func pooledInput(fs []*frame.Frame) *nn.Tensor {
+	x := nn.GetTensorDirty(len(fs), 1, SNMSize, SNMSize)
+	small := imgproc.GetGray(SNMSize, SNMSize)
+	const px = SNMSize * SNMSize
+	for i, f := range fs {
+		imgproc.ResizeInto(imgproc.FromFrame(f), small)
+		normalizeInto(x.Data[i*px:(i+1)*px], small.Pix)
+	}
+	small.Release()
+	return x
+}
+
+// Prob returns the predicted target probability for a frame. It runs on
+// the pooled inference path, so the steady state allocates nothing.
 func (s *SNM) Prob(f *frame.Frame) float64 {
-	out := s.Net.Forward(Input(f))
+	x := pooledInput([]*frame.Frame{f})
+	out := s.Net.Infer(x)
 	p := float64(nn.Sigmoid(out.Data[0]))
+	out.Release()
+	x.Release()
 	s.lastP = p
 	return p
 }
@@ -279,6 +323,34 @@ func (s *SNM) Process(f *frame.Frame) Verdict {
 		return Pass
 	}
 	return Drop
+}
+
+// ProcessBatch filters a dynamic batch of frames with one multi-sample
+// network forward instead of per-frame calls, amortizing the im2col and
+// dispatch overhead across the batch (the paper's dynamic-batch knob,
+// §3.2.2). Verdicts are index-aligned with fs and identical to calling
+// Process on each frame in order: the layers compute every sample with
+// the same per-sample loops, so batching does not change the numbers.
+func (s *SNM) ProcessBatch(fs []*frame.Frame) []Verdict {
+	if len(fs) == 0 {
+		return nil
+	}
+	x := pooledInput(fs)
+	out := s.Net.Infer(x)
+	tpre := s.TPre()
+	verdicts := make([]Verdict, len(fs))
+	for i := range fs {
+		s.stats.Processed++
+		p := float64(nn.Sigmoid(out.Data[i]))
+		s.lastP = p
+		if p >= tpre {
+			s.stats.Passed++
+			verdicts[i] = Pass
+		}
+	}
+	out.Release()
+	x.Release()
+	return verdicts
 }
 
 // MultiSNM is the §5.5 multi-target variant of the SNM: one sigmoid
@@ -327,13 +399,17 @@ func (s *MultiSNM) TPre(i int) float64 {
 	return (s.CHigh[i]-s.CLow[i])*fd + s.CLow[i]
 }
 
-// Probs returns the per-class probabilities for a frame.
+// Probs returns the per-class probabilities for a frame, computed on
+// the pooled inference path.
 func (s *MultiSNM) Probs(f *frame.Frame) []float64 {
-	out := s.Net.Forward(Input(f))
+	x := pooledInput([]*frame.Frame{f})
+	out := s.Net.Infer(x)
 	ps := make([]float64, len(s.CLow))
 	for i := range ps {
 		ps[i] = float64(nn.Sigmoid(out.Data[i]))
 	}
+	out.Release()
+	x.Release()
 	s.lastP = ps
 	return ps
 }

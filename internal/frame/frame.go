@@ -6,6 +6,7 @@ package frame
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -114,11 +115,51 @@ type Frame struct {
 	// Truth carries ground-truth annotations on synthetic frames; nil on
 	// frames from unknown sources.
 	Truth *Annotation
+	// pooled marks Pix as borrowed from the frame-buffer pool; Release
+	// returns it there.
+	pooled bool
 }
 
 // New allocates a zeroed frame of the given dimensions.
 func New(w, h int) *Frame {
 	return &Frame{W: w, H: h, Pix: make([]uint8, w*h)}
+}
+
+// pixPool recycles pixel planes across pooled frames. Every stream of a
+// workload renders the same resolution, so exact-length buckets make
+// steady-state frame generation allocation-free.
+var pixPool sync.Pool
+
+// NewPooled returns a frame whose pixel plane is borrowed from the
+// frame-buffer pool. The plane is NOT cleared — it holds whatever the
+// previous user left — so NewPooled is for producers that overwrite
+// every pixel (the synthetic renderer copies a full background plane in
+// before drawing). Callers that cannot guarantee a full overwrite must
+// use New. The pipeline calls Release once the frame's verdict is
+// final.
+func NewPooled(w, h int) *Frame {
+	n := w * h
+	if v := pixPool.Get(); v != nil {
+		if pix := v.([]uint8); len(pix) == n {
+			return &Frame{W: w, H: h, Pix: pix, pooled: true}
+		}
+		// Resolution changed since the plane was pooled; drop it.
+	}
+	return &Frame{W: w, H: h, Pix: make([]uint8, n), pooled: true}
+}
+
+// Release returns a pooled frame's pixel plane for reuse. It is a no-op
+// on frames not obtained from NewPooled (tests and external sources
+// build frames with New and keep owning their buffers), so the pipeline
+// can release every frame it retires unconditionally. After Release the
+// frame's pixels must not be touched.
+func (f *Frame) Release() {
+	if f == nil || !f.pooled || f.Pix == nil {
+		return
+	}
+	pixPool.Put(f.Pix)
+	f.Pix = nil
+	f.pooled = false
 }
 
 // At returns the pixel at (x, y). It performs no bounds checking beyond
@@ -131,6 +172,7 @@ func (f *Frame) Set(x, y int, v uint8) { f.Pix[y*f.W+x] = v }
 // Clone returns a deep copy of the frame, including annotations.
 func (f *Frame) Clone() *Frame {
 	g := *f
+	g.pooled = false // the clone owns a private buffer
 	g.Pix = make([]uint8, len(f.Pix))
 	copy(g.Pix, f.Pix)
 	if f.Truth != nil {

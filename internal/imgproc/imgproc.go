@@ -10,17 +10,50 @@ import (
 	"math"
 
 	"ffsva/internal/frame"
+	"ffsva/internal/par"
 )
 
 // Gray is an 8-bit grayscale image in row-major order.
 type Gray struct {
 	W, H int
 	Pix  []uint8
+	// pooled marks Pix as borrowed from the image pool; Release returns
+	// it there.
+	pooled bool
 }
 
 // NewGray allocates a zeroed grayscale image.
 func NewGray(w, h int) *Gray {
 	return &Gray{W: w, H: h, Pix: make([]uint8, w*h)}
+}
+
+// grayPix recycles pixel planes across pooled Gray images. The filters
+// resize every frame to the same few shapes (100×100 for SDD, 50×50 for
+// SNM, 208×208 for T-YOLO), so exact-length buckets make the steady
+// state allocation-free.
+var grayPix par.SlicePool[uint8]
+
+// GetGray returns a pooled w×h image whose pixels are NOT cleared; it is
+// for kernels that overwrite every pixel (resize targets, diff outputs).
+// Release it with Gray.Release when done.
+func GetGray(w, h int) *Gray {
+	if w <= 0 || h <= 0 {
+		panic("imgproc: GetGray: non-positive size")
+	}
+	return &Gray{W: w, H: h, Pix: grayPix.Get(w * h), pooled: true}
+}
+
+// Release returns a pooled image's pixel plane for reuse. It is a no-op
+// on images not obtained from the pool (NewGray allocations, FromFrame
+// views), so callers can release unconditionally. After Release the
+// image must not be used.
+func (g *Gray) Release() {
+	if g == nil || !g.pooled || g.Pix == nil {
+		return
+	}
+	grayPix.Put(g.Pix)
+	g.Pix = nil
+	g.pooled = false
 }
 
 // FromFrame wraps a frame's pixel buffer as a Gray without copying.
@@ -53,53 +86,65 @@ func sameSize(op string, a, b *Gray) {
 // This is the resize step the paper charges 40/150/400 µs for ahead of
 // SDD/SNM/T-YOLO respectively.
 func Resize(src *Gray, w, h int) *Gray {
+	dst := NewGray(w, h)
+	ResizeInto(src, dst)
+	return dst
+}
+
+// ResizeInto scales src into dst (sized by dst.W×dst.H), overwriting
+// every pixel, so dst may be a dirty pooled image. Output rows are
+// independent and shard over the worker pool; each row is written by
+// exactly one shard, so the result is bitwise-identical to the serial
+// loop.
+func ResizeInto(src, dst *Gray) {
+	w, h := dst.W, dst.H
 	if w <= 0 || h <= 0 {
 		panic("imgproc: Resize: non-positive target size")
 	}
-	dst := NewGray(w, h)
 	if src.W == w && src.H == h {
 		copy(dst.Pix, src.Pix)
-		return dst
+		return
 	}
 	xRatio := float64(src.W) / float64(w)
 	yRatio := float64(src.H) / float64(h)
-	for y := 0; y < h; y++ {
-		sy := (float64(y)+0.5)*yRatio - 0.5
-		y0 := int(math.Floor(sy))
-		fy := sy - float64(y0)
-		y1 := y0 + 1
-		if y0 < 0 {
-			y0, y1, fy = 0, 0, 0
-		}
-		if y1 >= src.H {
-			y1 = src.H - 1
-			if y0 > y1 {
-				y0 = y1
+	par.For(h, 8, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			sy := (float64(y)+0.5)*yRatio - 0.5
+			y0 := int(math.Floor(sy))
+			fy := sy - float64(y0)
+			y1 := y0 + 1
+			if y0 < 0 {
+				y0, y1, fy = 0, 0, 0
 			}
-		}
-		row0 := src.Pix[y0*src.W:]
-		row1 := src.Pix[y1*src.W:]
-		for x := 0; x < w; x++ {
-			sx := (float64(x)+0.5)*xRatio - 0.5
-			x0 := int(math.Floor(sx))
-			fx := sx - float64(x0)
-			x1 := x0 + 1
-			if x0 < 0 {
-				x0, x1, fx = 0, 0, 0
-			}
-			if x1 >= src.W {
-				x1 = src.W - 1
-				if x0 > x1 {
-					x0 = x1
+			if y1 >= src.H {
+				y1 = src.H - 1
+				if y0 > y1 {
+					y0 = y1
 				}
 			}
-			top := float64(row0[x0])*(1-fx) + float64(row0[x1])*fx
-			bot := float64(row1[x0])*(1-fx) + float64(row1[x1])*fx
-			v := top*(1-fy) + bot*fy
-			dst.Pix[y*w+x] = uint8(math.Round(clamp(v, 0, 255)))
+			row0 := src.Pix[y0*src.W:]
+			row1 := src.Pix[y1*src.W:]
+			for x := 0; x < w; x++ {
+				sx := (float64(x)+0.5)*xRatio - 0.5
+				x0 := int(math.Floor(sx))
+				fx := sx - float64(x0)
+				x1 := x0 + 1
+				if x0 < 0 {
+					x0, x1, fx = 0, 0, 0
+				}
+				if x1 >= src.W {
+					x1 = src.W - 1
+					if x0 > x1 {
+						x0 = x1
+					}
+				}
+				top := float64(row0[x0])*(1-fx) + float64(row0[x1])*fx
+				bot := float64(row1[x0])*(1-fx) + float64(row1[x1])*fx
+				v := top*(1-fy) + bot*fy
+				dst.Pix[y*w+x] = uint8(math.Round(clamp(v, 0, 255)))
+			}
 		}
-	}
-	return dst
+	})
 }
 
 // ResizeNearest scales src into a new w×h image with nearest-neighbor
@@ -129,16 +174,33 @@ func clamp(v, lo, hi float64) float64 {
 	return v
 }
 
+// mseChunk is the fixed reduction chunk for the pixel-difference
+// metrics. Per-chunk sums are exact integers (every squared 8-bit diff
+// is ≤ 255², far below 2⁵³), so combining chunk partials yields the
+// same value as the serial sum, bitwise, for any worker count.
+const mseChunk = 1 << 14
+
 // MSE returns the mean squared pixel error between two equal-size images.
-// It is SDD's default distance metric (paper §3.2.1).
+// It is SDD's default distance metric (paper §3.2.1). The reduction runs
+// over the worker pool in fixed chunks; because every partial is an
+// exact integer, the result is bitwise-identical to the serial loop.
 func MSE(a, b *Gray) float64 {
 	sameSize("MSE", a, b)
-	var sum float64
-	for i := range a.Pix {
-		d := float64(a.Pix[i]) - float64(b.Pix[i])
-		sum += d * d
+	n := len(a.Pix)
+	partials := make([]uint64, par.NumChunks(n, mseChunk))
+	par.ForChunks(n, mseChunk, func(ci, lo, hi int) {
+		var sum uint64
+		for i := lo; i < hi; i++ {
+			d := int(a.Pix[i]) - int(b.Pix[i])
+			sum += uint64(d * d)
+		}
+		partials[ci] = sum
+	})
+	var sum uint64
+	for _, p := range partials {
+		sum += p
 	}
-	return sum / float64(len(a.Pix))
+	return float64(sum) / float64(n)
 }
 
 // NRMSE returns the root of MSE normalized by the 8-bit dynamic range, in
@@ -148,32 +210,51 @@ func NRMSE(a, b *Gray) float64 {
 }
 
 // SAD returns the sum of absolute differences between two equal-size
-// images.
+// images. Like MSE, the chunked integer reduction is exact.
 func SAD(a, b *Gray) float64 {
 	sameSize("SAD", a, b)
-	var sum float64
-	for i := range a.Pix {
-		d := int(a.Pix[i]) - int(b.Pix[i])
-		if d < 0 {
-			d = -d
+	n := len(a.Pix)
+	partials := make([]uint64, par.NumChunks(n, mseChunk))
+	par.ForChunks(n, mseChunk, func(ci, lo, hi int) {
+		var sum uint64
+		for i := lo; i < hi; i++ {
+			d := int(a.Pix[i]) - int(b.Pix[i])
+			if d < 0 {
+				d = -d
+			}
+			sum += uint64(d)
 		}
-		sum += float64(d)
+		partials[ci] = sum
+	})
+	var sum uint64
+	for _, p := range partials {
+		sum += p
 	}
-	return sum
+	return float64(sum)
 }
 
 // AbsDiff writes |a−b| per pixel into a new image.
 func AbsDiff(a, b *Gray) *Gray {
 	sameSize("AbsDiff", a, b)
 	out := NewGray(a.W, a.H)
-	for i := range a.Pix {
-		d := int(a.Pix[i]) - int(b.Pix[i])
-		if d < 0 {
-			d = -d
-		}
-		out.Pix[i] = uint8(d)
-	}
+	AbsDiffInto(a, b, out)
 	return out
+}
+
+// AbsDiffInto writes |a−b| per pixel into out, overwriting every pixel,
+// so out may be a dirty pooled image.
+func AbsDiffInto(a, b, out *Gray) {
+	sameSize("AbsDiff", a, b)
+	sameSize("AbsDiff", a, out)
+	par.For(len(a.Pix), 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d := int(a.Pix[i]) - int(b.Pix[i])
+			if d < 0 {
+				d = -d
+			}
+			out.Pix[i] = uint8(d)
+		}
+	})
 }
 
 // MeanStd returns the mean and standard deviation of the image pixels.
@@ -198,39 +279,61 @@ func MeanStd(g *Gray) (mean, std float64) {
 // Binarize returns a mask with 1 where g exceeds thresh and 0 elsewhere.
 func Binarize(g *Gray, thresh uint8) *Gray {
 	out := NewGray(g.W, g.H)
-	for i, p := range g.Pix {
-		if p > thresh {
-			out.Pix[i] = 1
-		}
-	}
+	BinarizeInto(g, thresh, out)
 	return out
+}
+
+// BinarizeInto writes the threshold mask into out, overwriting every
+// pixel, so out may be a dirty pooled image.
+func BinarizeInto(g *Gray, thresh uint8, out *Gray) {
+	sameSize("Binarize", g, out)
+	par.For(len(g.Pix), 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if g.Pix[i] > thresh {
+				out.Pix[i] = 1
+			} else {
+				out.Pix[i] = 0
+			}
+		}
+	})
 }
 
 // BoxBlur3 applies a 3×3 box filter, used to suppress sensor noise before
 // binarization in the grid detector.
 func BoxBlur3(g *Gray) *Gray {
 	out := NewGray(g.W, g.H)
-	for y := 0; y < g.H; y++ {
-		for x := 0; x < g.W; x++ {
-			var sum, n int
-			for dy := -1; dy <= 1; dy++ {
-				yy := y + dy
-				if yy < 0 || yy >= g.H {
-					continue
-				}
-				for dx := -1; dx <= 1; dx++ {
-					xx := x + dx
-					if xx < 0 || xx >= g.W {
+	BoxBlur3Into(g, out)
+	return out
+}
+
+// BoxBlur3Into writes the 3×3 box filter of g into out, overwriting
+// every pixel, so out may be a dirty pooled image. Output rows shard
+// over the worker pool; the input is read-only, so shards are
+// independent.
+func BoxBlur3Into(g, out *Gray) {
+	sameSize("BoxBlur3", g, out)
+	par.For(g.H, 8, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			for x := 0; x < g.W; x++ {
+				var sum, n int
+				for dy := -1; dy <= 1; dy++ {
+					yy := y + dy
+					if yy < 0 || yy >= g.H {
 						continue
 					}
-					sum += int(g.Pix[yy*g.W+xx])
-					n++
+					for dx := -1; dx <= 1; dx++ {
+						xx := x + dx
+						if xx < 0 || xx >= g.W {
+							continue
+						}
+						sum += int(g.Pix[yy*g.W+xx])
+						n++
+					}
 				}
+				out.Pix[y*g.W+x] = uint8(sum / n)
 			}
-			out.Pix[y*g.W+x] = uint8(sum / n)
 		}
-	}
-	return out
+	})
 }
 
 // Rect is an axis-aligned rectangle in pixel coordinates.

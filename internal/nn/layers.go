@@ -4,12 +4,25 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"ffsva/internal/par"
 )
 
 // Layer is one differentiable stage of a network. Forward caches whatever
 // Backward needs; Backward consumes the gradient w.r.t. the layer output
 // and returns the gradient w.r.t. the layer input, accumulating parameter
 // gradients along the way.
+//
+// Forward passes shard their output rows (and batch samples) over the
+// par worker pool; every shard writes a disjoint output region, so the
+// result is bitwise-identical to the serial computation for any worker
+// count. Backward stays serial: it accumulates shared parameter
+// gradients and training is not the steady-state hot path.
+//
+// A Layer (and therefore a Net) must not be used from multiple
+// goroutines at once: Forward caches state for Backward, and Infer
+// reuses per-layer scratch. Each pipeline stream owns its own network
+// instance, which is what makes concurrent streams safe.
 type Layer interface {
 	Name() string
 	Forward(x *Tensor) *Tensor
@@ -29,6 +42,8 @@ type Conv2D struct {
 	lastCols []*Tensor // per-sample im2col matrices, kept for backward
 	outH     int
 	outW     int
+
+	scratch []*Tensor // pooled per-sample column matrices for Infer
 }
 
 // NewConv2D creates a convolution layer with He-style uniform
@@ -60,10 +75,11 @@ func (c *Conv2D) OutSize(inH, inW int) (outH, outW int) {
 	return outH, outW
 }
 
-// im2col lowers one sample (C,H,W) into a (C*K*K, outH*outW) matrix.
-func (c *Conv2D) im2col(x []float32, inH, inW, outH, outW int) *Tensor {
+// im2colInto lowers one sample (C,H,W) into cols, a (C*K*K, outH*outW)
+// matrix. Every element of cols is written (out-of-bounds taps as
+// zeros), so cols may come from the dirty tensor pool.
+func (c *Conv2D) im2colInto(x []float32, inH, inW, outH, outW int, cols *Tensor) {
 	kk := c.K * c.K
-	cols := NewTensor(c.InC*kk, outH*outW)
 	for ch := 0; ch < c.InC; ch++ {
 		chOff := ch * inH * inW
 		for ky := 0; ky < c.K; ky++ {
@@ -71,68 +87,122 @@ func (c *Conv2D) im2col(x []float32, inH, inW, outH, outW int) *Tensor {
 				row := (ch*kk + ky*c.K + kx) * outH * outW
 				for oy := 0; oy < outH; oy++ {
 					iy := oy*c.Stride + ky - c.Pad
-					dst := row + oy*outW
+					dst := cols.Data[row+oy*outW : row+(oy+1)*outW]
 					if iy < 0 || iy >= inH {
-						continue // stays zero
+						for i := range dst {
+							dst[i] = 0
+						}
+						continue
 					}
 					srcRow := chOff + iy*inW
-					for ox := 0; ox < outW; ox++ {
+					for ox := range dst {
 						ix := ox*c.Stride + kx - c.Pad
 						if ix < 0 || ix >= inW {
-							continue
+							dst[ox] = 0
+						} else {
+							dst[ox] = x[srcRow+ix]
 						}
-						cols.Data[dst+ox] = x[srcRow+ix]
 					}
 				}
 			}
 		}
 	}
-	return cols
 }
 
-// Forward implements Layer for NCHW input (N, InC, H, W).
-func (c *Conv2D) Forward(x *Tensor) *Tensor {
-	if len(x.Shape) != 4 || x.Shape[1] != c.InC {
-		panic(fmt.Sprintf("nn: %s: bad input shape %v", c.Name(), x.Shape))
+// convRow computes one (sample, output-channel) row of the convolution:
+// dst[p] = b + sum_k w[k]·cols[k, p]. Both Forward and Infer go through
+// it, so the two paths are bitwise-identical.
+func convRow(dst, wRow []float32, cols *Tensor, bias float32, kdim, pdim int) {
+	for i := range dst {
+		dst[i] = bias
 	}
-	n, inH, inW := x.Shape[0], x.Shape[2], x.Shape[3]
-	outH, outW := c.OutSize(inH, inW)
-	if outH <= 0 || outW <= 0 {
-		panic(fmt.Sprintf("nn: %s: input %dx%d too small", c.Name(), inH, inW))
+	for k := 0; k < kdim; k++ {
+		wv := wRow[k]
+		if wv == 0 {
+			continue
+		}
+		colRow := cols.Data[k*pdim : (k+1)*pdim]
+		for p, cv := range colRow {
+			dst[p] += wv * cv
+		}
 	}
-	c.outH, c.outW = outH, outW
-	c.lastX = x
-	c.lastCols = c.lastCols[:0]
+}
 
-	out := NewTensor(n, c.OutC, outH, outW)
+// forwardInto runs the convolution over the batch: im2col sharded by
+// sample, then the matmul sharded by (sample, output channel). cols must
+// hold one (kdim, pdim) matrix per sample.
+func (c *Conv2D) forwardInto(x, out *Tensor, cols []*Tensor, n, inH, inW, outH, outW int) {
 	sampleIn := c.InC * inH * inW
 	sampleOut := c.OutC * outH * outW
 	kdim := c.InC * c.K * c.K
 	pdim := outH * outW
-	for s := 0; s < n; s++ {
-		cols := c.im2col(x.Data[s*sampleIn:(s+1)*sampleIn], inH, inW, outH, outW)
-		c.lastCols = append(c.lastCols, cols)
-		// out[oc, p] = sum_k w[oc, k] * cols[k, p] + b[oc]
-		for oc := 0; oc < c.OutC; oc++ {
-			dst := out.Data[s*sampleOut+oc*pdim : s*sampleOut+(oc+1)*pdim]
-			bias := c.b.Val.Data[oc]
-			for i := range dst {
-				dst[i] = bias
-			}
-			wRow := c.w.Val.Data[oc*kdim : (oc+1)*kdim]
-			for k := 0; k < kdim; k++ {
-				wv := wRow[k]
-				if wv == 0 {
-					continue
-				}
-				colRow := cols.Data[k*pdim : (k+1)*pdim]
-				for p, cv := range colRow {
-					dst[p] += wv * cv
-				}
-			}
+	par.For(n, 1, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			c.im2colInto(x.Data[s*sampleIn:(s+1)*sampleIn], inH, inW, outH, outW, cols[s])
 		}
+	})
+	par.For(n*c.OutC, 1, func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			s, oc := idx/c.OutC, idx%c.OutC
+			dst := out.Data[s*sampleOut+oc*pdim : s*sampleOut+(oc+1)*pdim]
+			convRow(dst, c.w.Val.Data[oc*kdim:(oc+1)*kdim], cols[s], c.b.Val.Data[oc], kdim, pdim)
+		}
+	})
+}
+
+// Forward implements Layer for NCHW input (N, InC, H, W).
+func (c *Conv2D) Forward(x *Tensor) *Tensor {
+	n, outH, outW := c.checkInput(x)
+	inH, inW := x.Shape[2], x.Shape[3]
+	c.outH, c.outW = outH, outW
+	c.lastX = x
+	c.lastCols = c.lastCols[:0]
+	kdim := c.InC * c.K * c.K
+	for s := 0; s < n; s++ {
+		// Backward consumes the column matrices, so the training path
+		// allocates them fresh instead of borrowing from the pool.
+		c.lastCols = append(c.lastCols, NewTensor(kdim, outH*outW))
 	}
+	out := NewTensor(n, c.OutC, outH, outW)
+	c.forwardInto(x, out, c.lastCols, n, inH, inW, outH, outW)
 	return out
+}
+
+// Infer is the inference-only forward: no state is cached for Backward,
+// and the column scratch and output come from the tensor pool. The
+// output is bitwise-identical to Forward's; the caller releases it.
+func (c *Conv2D) Infer(x *Tensor) *Tensor {
+	n, outH, outW := c.checkInput(x)
+	inH, inW := x.Shape[2], x.Shape[3]
+	kdim := c.InC * c.K * c.K
+	// Per-sample column scratch, kept on the layer between calls (a
+	// layer serves one stream, so there is no concurrent Infer).
+	pdim := outH * outW
+	if len(c.scratch) > 0 && c.scratch[0].Len() != kdim*pdim {
+		for _, t := range c.scratch {
+			t.Release()
+		}
+		c.scratch = c.scratch[:0]
+	}
+	for len(c.scratch) < n {
+		c.scratch = append(c.scratch, GetTensorDirty(kdim, pdim))
+	}
+	out := GetTensorDirty(n, c.OutC, outH, outW)
+	c.forwardInto(x, out, c.scratch, n, inH, inW, outH, outW)
+	return out
+}
+
+// checkInput validates the NCHW input shape and returns (n, outH, outW).
+func (c *Conv2D) checkInput(x *Tensor) (n, outH, outW int) {
+	if len(x.Shape) != 4 || x.Shape[1] != c.InC {
+		panic(fmt.Sprintf("nn: %s: bad input shape %v", c.Name(), x.Shape))
+	}
+	inH, inW := x.Shape[2], x.Shape[3]
+	outH, outW = c.OutSize(inH, inW)
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("nn: %s: input %dx%d too small", c.Name(), inH, inW))
+	}
+	return x.Shape[0], outH, outW
 }
 
 // Backward implements Layer.
@@ -215,15 +285,33 @@ func (r *ReLU) Name() string { return "relu" }
 // Params implements Layer.
 func (r *ReLU) Params() []*Param { return nil }
 
+// reluInto writes max(v, 0) for every element of x into out. Both
+// branches store, so out may be a dirty pooled buffer.
+func reluInto(x, out *Tensor) {
+	par.For(x.Len(), 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if v := x.Data[i]; v > 0 {
+				out.Data[i] = v
+			} else {
+				out.Data[i] = 0
+			}
+		}
+	})
+}
+
 // Forward implements Layer.
 func (r *ReLU) Forward(x *Tensor) *Tensor {
 	r.lastX = x
 	out := NewTensor(x.Shape...)
-	for i, v := range x.Data {
-		if v > 0 {
-			out.Data[i] = v
-		}
-	}
+	reluInto(x, out)
+	return out
+}
+
+// Infer is the inference-only forward; the pooled output is the caller's
+// to release.
+func (r *ReLU) Infer(x *Tensor) *Tensor {
+	out := GetTensorDirty(x.Shape...)
+	reluInto(x, out)
 	return out
 }
 
@@ -251,23 +339,34 @@ func (m *MaxPool2) Name() string { return "maxpool2" }
 // Params implements Layer.
 func (m *MaxPool2) Params() []*Param { return nil }
 
-// Forward implements Layer.
-func (m *MaxPool2) Forward(x *Tensor) *Tensor {
+// poolShape validates NCHW input and returns its dimensions alongside
+// the pooled output size.
+func poolShape(x *Tensor) (n, ch, h, w, oh, ow int) {
 	if len(x.Shape) != 4 {
 		panic("nn: maxpool2 expects NCHW input")
 	}
-	n, ch, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	oh, ow := h/2, w/2
+	n, ch, h, w = x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow = h/2, w/2
 	if oh == 0 || ow == 0 {
 		panic("nn: maxpool2 input too small")
 	}
+	return n, ch, h, w, oh, ow
+}
+
+// Forward implements Layer. Planes (sample, channel) are independent, so
+// they shard over the worker pool.
+func (m *MaxPool2) Forward(x *Tensor) *Tensor {
+	n, ch, h, w, oh, ow := poolShape(x)
 	m.lastShape = x.Shape
 	out := NewTensor(n, ch, oh, ow)
-	m.argmax = make([]int, out.Len())
-	for s := 0; s < n; s++ {
-		for c := 0; c < ch; c++ {
-			base := (s*ch + c) * h * w
-			obase := (s*ch + c) * oh * ow
+	if cap(m.argmax) < out.Len() {
+		m.argmax = make([]int, out.Len())
+	}
+	m.argmax = m.argmax[:out.Len()]
+	par.For(n*ch, 1, func(lo, hi int) {
+		for plane := lo; plane < hi; plane++ {
+			base := plane * h * w
+			obase := plane * oh * ow
 			for oy := 0; oy < oh; oy++ {
 				for ox := 0; ox < ow; ox++ {
 					i00 := base + (2*oy)*w + 2*ox
@@ -287,7 +386,38 @@ func (m *MaxPool2) Forward(x *Tensor) *Tensor {
 				}
 			}
 		}
-	}
+	})
+	return out
+}
+
+// Infer is the inference-only forward: no argmax bookkeeping, pooled
+// output. The max of a 2×2 window is order-independent, so the values
+// match Forward's bitwise.
+func (m *MaxPool2) Infer(x *Tensor) *Tensor {
+	n, ch, h, w, oh, ow := poolShape(x)
+	out := GetTensorDirty(n, ch, oh, ow)
+	par.For(n*ch, 1, func(lo, hi int) {
+		for plane := lo; plane < hi; plane++ {
+			base := plane * h * w
+			obase := plane * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					i00 := base + (2*oy)*w + 2*ox
+					best := x.Data[i00]
+					if v := x.Data[i00+1]; v > best {
+						best = v
+					}
+					if v := x.Data[i00+w]; v > best {
+						best = v
+					}
+					if v := x.Data[i00+w+1]; v > best {
+						best = v
+					}
+					out.Data[obase+oy*ow+ox] = best
+				}
+			}
+		}
+	})
 	return out
 }
 
@@ -323,25 +453,49 @@ func (d *Dense) Name() string { return fmt.Sprintf("dense(%d->%d)", d.In, d.Out)
 // Params implements Layer.
 func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
 
-// Forward implements Layer.
-func (d *Dense) Forward(x *Tensor) *Tensor {
-	n := x.Shape[0]
-	if x.Len()/n != d.In {
-		panic(fmt.Sprintf("nn: %s: input %v has %d features per sample", d.Name(), x.Shape, x.Len()/n))
-	}
-	d.lastX = x
-	out := NewTensor(n, d.Out)
-	for s := 0; s < n; s++ {
-		in := x.Data[s*d.In : (s+1)*d.In]
-		for o := 0; o < d.Out; o++ {
+// forwardInto computes the affine map sharded by (sample, output unit);
+// each index writes exactly one output element. Every element is
+// written, so out may be a dirty pooled buffer.
+func (d *Dense) forwardInto(x, out *Tensor, n int) {
+	par.For(n*d.Out, 8, func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			s, o := idx/d.Out, idx%d.Out
+			in := x.Data[s*d.In : (s+1)*d.In]
 			wRow := d.w.Val.Data[o*d.In : (o+1)*d.In]
 			acc := d.b.Val.Data[o]
 			for i, v := range in {
 				acc += wRow[i] * v
 			}
-			out.Data[s*d.Out+o] = acc
+			out.Data[idx] = acc
 		}
+	})
+}
+
+// checkInput validates the per-sample feature count and returns the
+// batch size.
+func (d *Dense) checkInput(x *Tensor) int {
+	n := x.Shape[0]
+	if x.Len()/n != d.In {
+		panic(fmt.Sprintf("nn: %s: input %v has %d features per sample", d.Name(), x.Shape, x.Len()/n))
 	}
+	return n
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *Tensor) *Tensor {
+	n := d.checkInput(x)
+	d.lastX = x
+	out := NewTensor(n, d.Out)
+	d.forwardInto(x, out, n)
+	return out
+}
+
+// Infer is the inference-only forward: nothing is cached for Backward
+// and the pooled output is the caller's to release.
+func (d *Dense) Infer(x *Tensor) *Tensor {
+	n := d.checkInput(x)
+	out := GetTensorDirty(n, d.Out)
+	d.forwardInto(x, out, n)
 	return out
 }
 

@@ -25,6 +25,42 @@ func (n *Net) Forward(x *Tensor) *Tensor {
 	return x
 }
 
+// inferLayer is implemented by layers with an allocation-free inference
+// path: no state cached for Backward, pooled scratch and output.
+type inferLayer interface {
+	Infer(x *Tensor) *Tensor
+}
+
+// Infer runs the full stack on the inference path: per-layer Infer when
+// available (all built-in layers provide it), intermediate activations
+// released back to the tensor pool as soon as the next layer has
+// consumed them. The caller's input is never released; the returned
+// tensor is pooled and the caller must Release it. The output is
+// bitwise-identical to Forward's.
+func (n *Net) Infer(x *Tensor) *Tensor {
+	in := x
+	for _, l := range n.Layers {
+		var out *Tensor
+		if il, ok := l.(inferLayer); ok {
+			out = il.Infer(in)
+		} else {
+			out = l.Forward(in)
+		}
+		if in != x {
+			in.Release()
+		}
+		in = out
+	}
+	if in == x {
+		// Empty layer stack: hand back a pooled copy so the ownership
+		// contract (caller releases the result) holds regardless.
+		out := GetTensorDirty(x.Shape...)
+		copy(out.Data, x.Data)
+		return out
+	}
+	return in
+}
+
 // Backward propagates an output gradient through the stack, accumulating
 // parameter gradients.
 func (n *Net) Backward(grad *Tensor) {

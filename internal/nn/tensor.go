@@ -20,6 +20,9 @@ import (
 type Tensor struct {
 	Shape []int
 	Data  []float32
+	// pooled marks data borrowed from the tensor pool; Release returns
+	// it there.
+	pooled bool
 }
 
 // NewTensor allocates a zeroed tensor of the given shape.

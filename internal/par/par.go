@@ -1,0 +1,197 @@
+// Package par is the shared compute worker pool behind FFS-VA's hot
+// kernels. The Conv2D/Dense/MaxPool2 forward passes, the imgproc resize
+// and frame-difference kernels, and the TinyGrid detector all shard
+// their output rows (or batch samples) over this one pool, so the
+// process never oversubscribes the machine no matter how many pipeline
+// stages compute at once.
+//
+// Design rules the kernels rely on:
+//
+//   - Determinism: a kernel parallelized with For writes disjoint output
+//     regions per index, so its result is bitwise-identical to the
+//     serial loop for any worker count. Reductions go through ForChunks,
+//     whose chunk boundaries are a function of (n, chunk) alone — never
+//     of the worker count — and whose partials the caller combines in
+//     chunk order, fixing the reduction order.
+//   - No deadlock under nesting: a kernel may call another kernel (e.g.
+//     TinyGrid calls Resize). Submission never blocks on pool capacity;
+//     when every worker is busy the calling goroutine runs the chunk
+//     inline.
+//   - Clock neutrality: workers are plain goroutines that compute
+//     synchronously on behalf of the caller. Virtual-clock processes may
+//     call into the pool freely — the call returns only when the work is
+//     done, so no simulated time passes inside a kernel.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// task is one chunk of a parallel loop.
+type task struct {
+	body   func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+var (
+	initOnce sync.Once
+	queue    chan task
+	// workers is the configured pool width. Zero means "not yet
+	// initialized"; SetWorkers overrides it (tests, benchmarks).
+	workers atomic.Int64
+)
+
+// start launches the pool lazily on first use.
+func start() {
+	initOnce.Do(func() {
+		if workers.Load() == 0 {
+			workers.Store(int64(runtime.GOMAXPROCS(0)))
+		}
+		// The queue is deliberately small: submissions beyond what the
+		// workers can absorb run inline in the caller, which doubles as
+		// the no-deadlock guarantee for nested parallel kernels.
+		queue = make(chan task, 4*runtime.GOMAXPROCS(0))
+		for i := 0; i < runtime.GOMAXPROCS(0); i++ {
+			go func() {
+				for t := range queue {
+					t.body(t.lo, t.hi)
+					t.wg.Done()
+				}
+			}()
+		}
+	})
+}
+
+// Workers reports the configured pool width (defaults to GOMAXPROCS).
+func Workers() int {
+	if w := workers.Load(); w > 0 {
+		return int(w)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers overrides the pool width and returns the previous value.
+// Width 1 forces every kernel down its serial inline path; benchmarks
+// use that to measure serial baselines and tests to prove serial and
+// parallel results are bitwise-identical. The physical goroutines are
+// unaffected — only the sharding decision changes — so SetWorkers is
+// cheap and safe at any time, though concurrent kernels observe the
+// change at their next For call.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	prev := Workers()
+	workers.Store(int64(n))
+	return prev
+}
+
+// For runs body over the index range [0, n), sharded across the pool.
+// body(lo, hi) must handle its half-open chunk independently and write
+// only output regions disjoint from every other chunk's; under that
+// contract the result is bitwise-identical to body(0, n) regardless of
+// worker count. minGrain is the smallest chunk worth a dispatch: loops
+// with n <= minGrain (or a pool width of 1) run inline.
+func For(n, minGrain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if minGrain < 1 {
+		minGrain = 1
+	}
+	w := Workers()
+	if w == 1 || n <= minGrain {
+		body(0, n)
+		return
+	}
+	start()
+	// Aim for a few chunks per worker so an unlucky scheduling of one
+	// large chunk cannot serialize the tail, but never dip below
+	// minGrain per chunk.
+	chunks := w * 4
+	if max := n / minGrain; chunks > max {
+		chunks = max
+	}
+	if chunks < 2 {
+		body(0, n)
+		return
+	}
+	size := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		t := task{body: body, lo: lo, hi: hi, wg: &wg}
+		select {
+		case queue <- t:
+		default:
+			// Pool saturated (or nested call): run inline.
+			body(lo, hi)
+			wg.Done()
+		}
+	}
+	wg.Wait()
+}
+
+// ForChunks runs body over [0, n) in fixed-size chunks of the given
+// size; chunk ci covers [ci*size, min(n, (ci+1)*size)). Unlike For, the
+// chunk boundaries depend only on (n, size), so reductions that compute
+// one partial per chunk and combine partials in chunk order have a
+// machine-independent reduction order. NumChunks reports the partial
+// count for sizing the accumulator.
+func ForChunks(n, size int, body func(ci, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if size < 1 {
+		size = 1
+	}
+	nc := NumChunks(n, size)
+	if Workers() == 1 || nc == 1 {
+		for ci := 0; ci < nc; ci++ {
+			lo := ci * size
+			hi := lo + size
+			if hi > n {
+				hi = n
+			}
+			body(ci, lo, hi)
+		}
+		return
+	}
+	start()
+	var wg sync.WaitGroup
+	for ci := 0; ci < nc; ci++ {
+		lo := ci * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		ci := ci
+		wg.Add(1)
+		t := task{body: func(lo, hi int) { body(ci, lo, hi) }, lo: lo, hi: hi, wg: &wg}
+		select {
+		case queue <- t:
+		default:
+			body(ci, lo, hi)
+			wg.Done()
+		}
+	}
+	wg.Wait()
+}
+
+// NumChunks returns how many chunks ForChunks(n, size, ...) will run.
+func NumChunks(n, size int) int {
+	if n <= 0 {
+		return 0
+	}
+	if size < 1 {
+		size = 1
+	}
+	return (n + size - 1) / size
+}

@@ -1,0 +1,45 @@
+package par
+
+import "sync"
+
+// SlicePool recycles slices of one element type, bucketed by exact
+// length. FFS-VA's steady state allocates the same few shapes over and
+// over — 50×50 SNM inputs, im2col column matrices, frame pixel planes —
+// so exact-length buckets hit essentially always and the hot loops stop
+// touching the heap.
+//
+// Get returns a slice whose contents are arbitrary (whatever the
+// previous user left); callers that need zeros must clear it or, better,
+// overwrite every element. After Put the caller must drop every
+// reference to the slice — the next Get of that length owns it.
+type SlicePool[T any] struct {
+	pools sync.Map // int (length) -> *sync.Pool
+}
+
+// Get returns a slice of exactly length n, recycled when possible.
+func (p *SlicePool[T]) Get(n int) []T {
+	if n <= 0 {
+		return nil
+	}
+	if sp, ok := p.pools.Load(n); ok {
+		if v := sp.(*sync.Pool).Get(); v != nil {
+			return v.([]T)
+		}
+	}
+	return make([]T, n)
+}
+
+// Put files s for reuse by a later Get of the same length. The caller
+// must drop every reference to s.
+func (p *SlicePool[T]) Put(s []T) {
+	n := len(s)
+	if n == 0 {
+		return
+	}
+	sp, ok := p.pools.Load(n)
+	if !ok {
+		sp, _ = p.pools.LoadOrStore(n, &sync.Pool{})
+	}
+	//nolint:staticcheck // slices of pointerless T carry no references
+	sp.(*sync.Pool).Put(s)
+}

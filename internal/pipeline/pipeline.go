@@ -330,9 +330,10 @@ type System struct {
 	streamsMu sync.Locker // guards streams slice after Start
 	liveMu    sync.Locker // guards liveSNM, tyLive and finished
 
-	started  bool
-	finished bool // refStage exited: no further frame can be decided
-	liveSNM  int  // SNM stages still running + holds
+	started   bool
+	finished  bool // refStage exited: no further frame can be decided
+	cancelled bool // CancelAll stopped ingest early (guarded by recMu)
+	liveSNM   int  // SNM stages still running + holds
 }
 
 // New builds a System; Start launches its processes on the configured

@@ -61,6 +61,11 @@ type Report struct {
 	// schedule (worst ingest lag under half a second).
 	Realtime bool
 
+	// Cancelled marks a run stopped early by CancelAll (context
+	// cancellation): the report covers only the frames ingested before
+	// the stop, each of which still carries a final disposition.
+	Cancelled bool
+
 	// Device accounting. GPU0Util is the first filter GPU (the paper's
 	// GPU-0); FilterGPUUtils lists all filter GPUs when FilterGPUs > 1.
 	CPUUtil, GPU0Util, GPU1Util float64
@@ -77,6 +82,7 @@ func (s *System) Report() *Report {
 		Mode:        s.cfg.Mode,
 		BatchPolicy: s.cfg.BatchPolicy,
 		BatchSize:   s.cfg.BatchSize,
+		Cancelled:   s.Cancelled(),
 	}
 	var first, last time.Duration
 	first = -1

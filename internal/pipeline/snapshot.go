@@ -52,21 +52,21 @@ type StreamSnapshot struct {
 	MaxLag time.Duration `json:"max_lag"`
 	// Backlog is the capture-buffer depth plus spilled frames — the
 	// overload signal in frames; Backlog/FPS is seconds behind.
-	Backlog      int            `json:"backlog"`
-	SpillPending int            `json:"spill_pending"`
-	Spilled      int64          `json:"spilled"`
-	SDDQ         QueueSnapshot  `json:"sdd_q"`
-	SNMQ         QueueSnapshot  `json:"snm_q"`
-	TYQ          QueueSnapshot  `json:"ty_q"`
+	Backlog      int           `json:"backlog"`
+	SpillPending int           `json:"spill_pending"`
+	Spilled      int64         `json:"spilled"`
+	SDDQ         QueueSnapshot `json:"sdd_q"`
+	SNMQ         QueueSnapshot `json:"snm_q"`
+	TYQ          QueueSnapshot `json:"ty_q"`
 }
 
 // DeviceSnapshot is one device's live accounting.
 type DeviceSnapshot struct {
-	Name     string        `json:"name"`
-	Kind     string        `json:"kind"`
-	InUse    int           `json:"in_use"`
-	Slots    int           `json:"slots"`
-	Busy     time.Duration `json:"busy"`
+	Name  string        `json:"name"`
+	Kind  string        `json:"kind"`
+	InUse int           `json:"in_use"`
+	Slots int           `json:"slots"`
+	Busy  time.Duration `json:"busy"`
 	// BusyFraction is busy time over capacity × elapsed run time.
 	BusyFraction float64 `json:"busy_fraction"`
 	Served       int64   `json:"served"`

@@ -107,6 +107,30 @@ func (s *System) StopStream(id int) (remaining int64, src FrameSource, nextSeq i
 	return 0, nil, 0, false
 }
 
+// CancelAll halts every stream's ingest at its next frame boundary and
+// marks the run cancelled. Frames already in flight drain through the
+// cascade normally, so the conservation invariant (every ingested frame
+// gets a final disposition) holds and the eventual Report is a valid
+// partial result. Safe to call more than once; later AddStream streams
+// are not affected (cluster migration decides their fate separately).
+func (s *System) CancelAll() {
+	s.streamsMu.Lock()
+	defer s.streamsMu.Unlock()
+	s.recMu.Lock()
+	for _, st := range s.streams {
+		st.stop = true
+	}
+	s.cancelled = true
+	s.recMu.Unlock()
+}
+
+// Cancelled reports whether CancelAll was called.
+func (s *System) Cancelled() bool {
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
+	return s.cancelled
+}
+
 // snapshotStreams copies the stream list for lock-free iteration.
 func (s *System) snapshotStreams() []*streamState {
 	s.streamsMu.Lock()
@@ -273,8 +297,13 @@ func (s *System) snmStage(st *streamState) {
 			s.cpu.UseResize(device.ModelSNM, len(batch), s.cfg.Costs)
 			s.snmGPU(st).Use(device.ModelSNM, len(batch), s.cfg.Costs)
 		}
-		for _, f := range batch {
-			if st.spec.SNM.Process(f) == filters.Pass {
+		// One multi-sample forward for the whole batch: the network
+		// computes each sample with the same per-sample loops, so the
+		// verdicts match per-frame Process calls exactly while paying
+		// the im2col and dispatch overhead once.
+		verdicts := st.spec.SNM.ProcessBatch(batch)
+		for i, f := range batch {
+			if verdicts[i] == filters.Pass {
 				// Blocks at the T-YOLO depth threshold: feedback.
 				if st.tyQ.Put(f) {
 					s.tyNotifyFor(st).add(1)
@@ -445,6 +474,10 @@ func (s *System) finish(st *streamState, f *frame.Frame, d Disposition, refCount
 	st.counts[d]++
 	st.done = true
 	s.recMu.Unlock()
+	// finish is the single terminal point of a frame's journey, so this
+	// is the one place its pixel plane can go back to the frame pool
+	// (a no-op for frames not built by frame.NewPooled).
+	f.Release()
 }
 
 // TYoloRate reports the shared T-YOLO stage's recent processing rate in

@@ -480,7 +480,10 @@ func (s *Stream) lastSceneLen() int {
 // render paints background + light drift + objects + noise and attaches
 // ground truth.
 func (s *Stream) render() *frame.Frame {
-	f := frame.New(s.cfg.W, s.cfg.H)
+	// The background copy below overwrites every pixel, so the frame can
+	// borrow a recycled plane; the pipeline releases it after the
+	// frame's verdict is final.
+	f := frame.NewPooled(s.cfg.W, s.cfg.H)
 	f.StreamID = s.cfg.StreamID
 	f.Seq = s.seq
 
