@@ -22,10 +22,11 @@ test:
 	$(GO) test ./...
 
 # The packages whose tests exercise real goroutines against shared state:
-# the queues and pipeline (real-clock paths), and the parallel compute
-# kernels with their pooled buffers (worker pool, tensor/frame pools).
+# the queues and pipeline (real-clock paths), the parallel compute
+# kernels with their pooled buffers (worker pool, tensor/frame pools),
+# and the fault-injection + cluster failure/recovery paths.
 race:
-	$(GO) test -race ./internal/queue ./internal/pipeline ./internal/par ./internal/nn ./internal/detect
+	$(GO) test -race ./internal/queue ./internal/pipeline ./internal/par ./internal/nn ./internal/detect ./internal/faults ./internal/cluster
 
 ci:
 	$(GO) build ./...

@@ -9,11 +9,26 @@
 //	      [-batch 10] [-filter-degree 0.5] [-objects 1] [-tolerance 0]
 //	      [-real] [-metrics 1s] [-metrics-json]
 //	      [-instances 2] [-arrival-every 2s]
+//	      [-inject spec]... [-shed-after 500ms]
 //
 // -instances greater than one runs the multi-instance layer (§4.3)
 // instead of a single pipeline: streams arrive -arrival-every apart and
 // a manager places each on the instance with spare capacity,
 // re-forwarding streams off overloaded instances.
+//
+// -inject (repeatable) adds a fault to the injection plan:
+//
+//	-inject crash:inst=1,at=8s
+//	-inject slow:dev=gpu0,from=2s,until=10s,x=2
+//	-inject stall:dev=gpu1,from=3s,until=4s
+//	-inject decode:stream=0,seq=100-200,attempts=3
+//	-inject corrupt:stream=0,seq=100-200
+//
+// In cluster mode a crashed instance is detected by its stale heartbeat
+// and every one of its streams is re-forwarded to a surviving instance.
+// -shed-after enables the online load-shedding bypass: frames captured
+// more than that much behind schedule are dropped at the ingest buffer
+// instead of stalling capture.
 //
 // Interrupting the process (Ctrl-C) cancels the run cleanly: ingest
 // stops at frame boundaries, in-flight frames drain, and the partial
@@ -41,6 +56,22 @@ import (
 	"ffsva"
 )
 
+// injectFlag collects repeatable -inject fault specs.
+type injectFlag struct {
+	plan *[]ffsva.Fault
+}
+
+func (f injectFlag) String() string { return "" }
+
+func (f injectFlag) Set(spec string) error {
+	ft, err := ffsva.ParseFault(spec)
+	if err != nil {
+		return err
+	}
+	*f.plan = append(*f.plan, ft)
+	return nil
+}
+
 func main() {
 	cfg := ffsva.DefaultConfig()
 
@@ -60,6 +91,8 @@ func main() {
 	metricsJSON := flag.Bool("metrics-json", false, "emit -metrics snapshots as JSON lines")
 	instances := flag.Int("instances", 1, "FFS-VA instances; >1 runs the multi-instance cluster")
 	arrivalEvery := flag.Duration("arrival-every", 2*time.Second, "stream arrival spacing in cluster mode")
+	flag.Var(injectFlag{&cfg.Faults}, "inject", "fault-injection spec (repeatable), e.g. crash:inst=1,at=8s")
+	flag.DurationVar(&cfg.ShedAfter, "shed-after", 0, "online load-shedding lateness threshold (0 disables)")
 	flag.Parse()
 
 	switch *workload {
@@ -126,6 +159,10 @@ func main() {
 		}
 		fmt.Printf("cluster: %d instances, %d admissions, %d re-forwards, realtime=%v\n",
 			len(rep.Instances), rep.Admissions(), rep.Reforwards(), rep.Realtime)
+		if rep.Failures() > 0 {
+			fmt.Printf("  failures: %d instance(s) lost, %d stream(s) recovered\n",
+				rep.Failures(), rep.Recoveries())
+		}
 		for i, ir := range rep.Instances {
 			fmt.Printf("  instance %d: %v\n", i, ir)
 		}

@@ -37,6 +37,7 @@ import (
 
 	"ffsva/internal/cluster"
 	"ffsva/internal/core"
+	"ffsva/internal/faults"
 	"ffsva/internal/pipeline"
 )
 
@@ -68,6 +69,10 @@ type (
 	BatchPolicy = pipeline.BatchPolicy
 	// Disposition records where a frame's journey ended.
 	Disposition = pipeline.Disposition
+	// Fault is one entry in a fault-injection plan (Config.Faults).
+	Fault = faults.Fault
+	// FaultKind classifies injected faults.
+	FaultKind = faults.Kind
 )
 
 // Workloads (Table 1).
@@ -96,7 +101,25 @@ const (
 	DropTYolo  = pipeline.DropTYolo
 	Detected   = pipeline.Detected
 	DropClosed = pipeline.DropClosed
+	DropError  = pipeline.DropError
+	DropShed   = pipeline.DropShed
 )
+
+// Fault kinds (Config.Faults).
+const (
+	FaultDecodeError   = faults.DecodeError
+	FaultCorruptFrame  = faults.CorruptFrame
+	FaultDeviceSlow    = faults.DeviceSlow
+	FaultDeviceStall   = faults.DeviceStall
+	FaultInstanceCrash = faults.InstanceCrash
+)
+
+// ParseFault parses one fault-injection spec such as
+// "crash:inst=1,at=8s", "slow:dev=gpu0,from=2s,until=10s,x=2",
+// "stall:dev=gpu1,from=3s,until=4s", "decode:stream=0,seq=100-200,attempts=3",
+// or "corrupt:stream=0,seq=100-200"; see the faults package for the
+// full syntax.
+func ParseFault(spec string) (Fault, error) { return faults.Parse(spec) }
 
 // Configuration validation sentinels. Config.Validate (called by Run,
 // RunContext, and the cluster entry points) wraps these with the

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"ffsva/internal/detect"
+	"ffsva/internal/faults"
 	"ffsva/internal/imgproc"
 	"ffsva/internal/pipeline"
 	"ffsva/internal/vclock"
@@ -46,6 +47,18 @@ type Config struct {
 	// Horizon is how long the manager and monitor stay alive; it must
 	// cover the last arrival plus the longest stream duration.
 	Horizon time.Duration
+
+	// HeartbeatEvery is each instance's liveness stamp period (forwarded
+	// to pipeline.Config); FailTimeout is how stale a stamp may go before
+	// the manager declares the instance dead and recovers all of its
+	// streams. Failure detection runs only when both are positive.
+	HeartbeatEvery time.Duration
+	FailTimeout    time.Duration
+	// Faults is the cluster-wide fault-injection plan: stream-level
+	// faults travel with their streams across instances, device-level
+	// faults bind to Fault.Instance, and InstanceCrash faults are
+	// scheduled as clock processes killing whole instances.
+	Faults []faults.Fault
 }
 
 // DefaultConfig returns cluster defaults per the paper's signals.
@@ -62,6 +75,8 @@ func DefaultConfig(clk vclock.Clock, instances int) Config {
 		LagThreshold:     250 * time.Millisecond,
 		BacklogThreshold: 90, // 3 s at 30 FPS
 		Horizon:          60 * time.Second,
+		HeartbeatEvery:   500 * time.Millisecond,
+		FailTimeout:      2 * time.Second,
 	}
 }
 
@@ -81,6 +96,11 @@ type EventKind int
 const (
 	EventAdmit EventKind = iota
 	EventReforward
+	// EventFail records failure detection declaring an instance dead
+	// (From is the instance; StreamID is -1).
+	EventFail
+	// EventRecover records one stream re-forwarded off a dead instance.
+	EventRecover
 )
 
 // Event is one manager action, for the report.
@@ -93,10 +113,17 @@ type Event struct {
 
 // String renders the event.
 func (e Event) String() string {
-	if e.Kind == EventAdmit {
-		return fmt.Sprintf("t=%v admit stream %d -> instance %d", e.At.Round(time.Millisecond), e.StreamID, e.To)
+	at := e.At.Round(time.Millisecond)
+	switch e.Kind {
+	case EventAdmit:
+		return fmt.Sprintf("t=%v admit stream %d -> instance %d", at, e.StreamID, e.To)
+	case EventFail:
+		return fmt.Sprintf("t=%v instance %d failed (heartbeat stale)", at, e.From)
+	case EventRecover:
+		return fmt.Sprintf("t=%v recover stream %d: instance %d -> %d", at, e.StreamID, e.From, e.To)
+	default:
+		return fmt.Sprintf("t=%v reforward stream %d: instance %d -> %d", at, e.StreamID, e.From, e.To)
 	}
-	return fmt.Sprintf("t=%v reforward stream %d: instance %d -> %d", e.At.Round(time.Millisecond), e.StreamID, e.From, e.To)
 }
 
 // Cluster is a set of FFS-VA instances under one admission manager.
@@ -106,12 +133,19 @@ type Cluster struct {
 	tgs       []*detect.TinyGrid
 	arrivals  []Arrival
 
+	// injs holds each instance's fault injector (empty without a plan).
+	injs []*faults.Injector
+
 	// bookkeeping (cooperatively accessed from manager/monitor procs)
 	loc    map[int]int                 // stream id -> instance index
 	specs  map[int]pipeline.StreamSpec // last spec per stream id
 	counts []int                       // active streams per instance
 	over   []int                       // consecutive overload observations
+	failed []bool                      // instances declared dead
 	events []Event
+	// unregs defers clearing migrated-away streams' detector state on
+	// their source instances until the stopped fragments drain.
+	unregs []unreg
 
 	// cancelled stops admission and instance ingest (context
 	// cancellation); managerDone lets the context watcher exit once the
@@ -132,17 +166,29 @@ func New(cfg Config, arrivals []Arrival) *Cluster {
 		specs:    make(map[int]pipeline.StreamSpec),
 		counts:   make([]int, cfg.Instances),
 		over:     make([]int, cfg.Instances),
+		failed:   make([]bool, cfg.Instances),
 	}
 	sort.SliceStable(c.arrivals, func(i, j int) bool { return c.arrivals[i].At < c.arrivals[j].At })
 	for i := 0; i < cfg.Instances; i++ {
 		pc := cfg.Pipeline
 		pc.Clock = cfg.Clock
 		pc.Mode = pipeline.Online
+		pc.HeartbeatEvery = cfg.HeartbeatEvery
+		inj := faults.NewInjector(faults.ForInstance(cfg.Faults, i))
+		if len(cfg.Faults) > 0 {
+			pc.AdjustService = inj.AdjustServiceTime
+		}
+		c.injs = append(c.injs, inj)
 		c.instances = append(c.instances, pipeline.New(pc, nil))
 		c.tgs = append(c.tgs, detect.NewTinyGrid(detect.DefaultTinyGridConfig()))
 	}
 	return c
 }
+
+// unreg is one deferred detector cleanup: stream id's background model
+// on instance inst becomes garbage after a migration away, but cannot
+// be dropped until the stopped fragment's in-flight frames drain.
+type unreg struct{ inst, id int }
 
 // Run starts every instance, processes arrivals and monitors overload
 // until the horizon, then lets the world drain and reports. It is
@@ -165,6 +211,18 @@ func (c *Cluster) RunContext(ctx context.Context) *Report {
 	for _, inst := range c.instances {
 		inst.Hold()
 		inst.Start()
+	}
+	// Scheduled instance crashes fire as independent timer processes;
+	// failure detection then notices the frozen heartbeat.
+	for _, cr := range faults.Crashes(c.cfg.Faults) {
+		if cr.Instance < 0 || cr.Instance >= len(c.instances) {
+			continue
+		}
+		cr := cr
+		clk.Go(fmt.Sprintf("fault-crash[%d]", cr.Instance), func() {
+			clk.Sleep(cr.At)
+			c.instances[cr.Instance].Crash()
+		})
 	}
 	if ctx.Done() != nil {
 		clk.Go("cluster-ctx-watch", func() {
@@ -200,11 +258,15 @@ func (c *Cluster) observe() []pipeline.Snapshot {
 	return snaps
 }
 
-// pick selects the admission target: spare instances first (by the
-// paper's T-YOLO-rate signal), then fewest active streams.
+// pick selects the admission target: spare live instances first (by the
+// paper's T-YOLO-rate signal), then fewest active streams. Returns -1
+// when every instance is dead.
 func (c *Cluster) pick(snaps []pipeline.Snapshot) int {
-	best, bestScore := 0, int(1<<30)
+	best, bestScore := -1, int(1<<30)
 	for i := range c.instances {
+		if c.failed[i] {
+			continue
+		}
 		score := c.counts[i] * 10
 		if c.overloaded(snaps[i]) {
 			score += 1000
@@ -244,21 +306,46 @@ func (c *Cluster) manage() {
 		}
 		// One consistent observation of every instance per tick.
 		snaps := c.observe()
+		// Failure detection first: a dead instance must neither receive
+		// arrivals nor count as a re-forward target this tick.
+		if c.cfg.HeartbeatEvery > 0 && c.cfg.FailTimeout > 0 {
+			for i, inst := range c.instances {
+				if !c.failed[i] && clk.Now()-inst.Heartbeat() > c.cfg.FailTimeout {
+					c.fail(i)
+				}
+			}
+		}
 		// Admit any due arrivals.
 		for next < len(c.arrivals) && c.arrivals[next].At <= clk.Now() {
 			a := c.arrivals[next]
 			idx := c.pick(snaps)
+			if idx < 0 {
+				// Every instance is dead: drop the arrival rather than
+				// wedging admission (degrade, don't die).
+				next++
+				continue
+			}
 			spec := a.Make(c.tgs[idx])
 			spec.ID = a.ID
+			spec.Source = c.injs[idx].WrapSource(spec.Source, a.ID)
 			c.instances[idx].AddStream(spec)
 			c.loc[a.ID] = idx
 			c.specs[a.ID] = spec
 			c.counts[idx]++
 			c.events = append(c.events, Event{Kind: EventAdmit, At: clk.Now(), StreamID: a.ID, From: -1, To: idx})
 			next++
+			// A burst must not share one stale view: the admission just
+			// made shifts the load signals, so re-observe before placing
+			// the next same-tick arrival.
+			if next < len(c.arrivals) && c.arrivals[next].At <= clk.Now() {
+				snaps = c.observe()
+			}
 		}
 		// Overload monitoring and re-forwarding.
 		for i := range c.instances {
+			if c.failed[i] {
+				continue
+			}
 			if !c.overloaded(snaps[i]) {
 				c.over[i] = 0
 				continue
@@ -271,6 +358,8 @@ func (c *Cluster) manage() {
 				}
 			}
 		}
+		// Deferred detector cleanups whose fragments have drained.
+		c.processUnregs(c.observe())
 		// Sleep to the next decision point.
 		wake := clk.Now() + c.cfg.CheckEvery
 		if next < len(c.arrivals) && c.arrivals[next].At < wake {
@@ -287,12 +376,12 @@ func (c *Cluster) manage() {
 	c.managerDone.Store(true)
 }
 
-// leastLoadedExcept returns the least-loaded non-overloaded instance
-// other than skip, or -1.
+// leastLoadedExcept returns the least-loaded live non-overloaded
+// instance other than skip, or -1.
 func (c *Cluster) leastLoadedExcept(snaps []pipeline.Snapshot, skip int) int {
 	best, bestCount := -1, int(1<<30)
 	for i := range c.instances {
-		if i == skip || c.overloaded(snaps[i]) {
+		if i == skip || c.failed[i] || c.overloaded(snaps[i]) {
 			continue
 		}
 		if c.counts[i] < bestCount {
@@ -302,6 +391,87 @@ func (c *Cluster) leastLoadedExcept(snaps []pipeline.Snapshot, skip int) int {
 	return best
 }
 
+// pickLive returns the least-loaded live instance other than skip, or
+// -1 when none survives. Failure recovery uses it: unlike admission it
+// ignores overload — a loaded instance beats a dead one.
+func (c *Cluster) pickLive(skip int) int {
+	best, bestCount := -1, int(1<<30)
+	for i := range c.instances {
+		if i == skip || c.failed[i] {
+			continue
+		}
+		if c.counts[i] < bestCount {
+			best, bestCount = i, c.counts[i]
+		}
+	}
+	return best
+}
+
+// fail declares instance i dead and recovers every one of its streams:
+// each is stopped (the crashed instance's ledger keeps its in-flight
+// frames, draining them to DropError) and its remainder re-forwarded to
+// a live instance via the continuation machinery. With no live instance
+// left the remainders are abandoned — the cluster degrades instead of
+// wedging.
+func (c *Cluster) fail(i int) {
+	c.failed[i] = true
+	c.over[i] = 0
+	c.events = append(c.events, Event{Kind: EventFail, At: c.cfg.Clock.Now(), StreamID: -1, From: i, To: -1})
+	var ids []int
+	for id, inst := range c.loc {
+		if inst == i {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		c.counts[i]--
+		to := c.pickLive(i)
+		if to < 0 {
+			c.instances[i].StopStream(id)
+			delete(c.loc, id)
+			continue
+		}
+		if !c.continueStream(id, i, to, EventRecover) {
+			delete(c.loc, id)
+		}
+	}
+}
+
+// processUnregs runs the deferred detector cleanups that have become
+// safe: the stream no longer lives on the instance and every one of its
+// stopped fragments there has decided all ingested frames — earlier,
+// Detect could lazily re-create the state from an in-flight frame,
+// re-introducing the leak the cleanup exists to fix.
+func (c *Cluster) processUnregs(snaps []pipeline.Snapshot) {
+	kept := c.unregs[:0]
+	for _, u := range c.unregs {
+		switch {
+		case c.loc[u.id] == u.inst:
+			// The stream migrated back; its background is live again.
+		case fragmentsDrained(snaps[u.inst], u.id):
+			c.tgs[u.inst].Unregister(u.id)
+		default:
+			kept = append(kept, u)
+		}
+	}
+	c.unregs = kept
+}
+
+// fragmentsDrained reports whether every fragment of stream id on the
+// instance has stopped ingesting and decided all of its frames.
+func fragmentsDrained(sn pipeline.Snapshot, id int) bool {
+	for _, ss := range sn.Streams {
+		if ss.ID != id {
+			continue
+		}
+		if ss.Decided < ss.Ingested || (!ss.Stopped && !ss.IngestDone) {
+			return false
+		}
+	}
+	return true
+}
+
 // reforward migrates the most recently admitted stream of instance from
 // to instance to, continuing at the next frame boundary.
 func (c *Cluster) reforward(from, to int) {
@@ -309,7 +479,7 @@ func (c *Cluster) reforward(from, to int) {
 	var victim = -1
 	var victimAt time.Duration = -1
 	for _, e := range c.events {
-		if e.Kind == EventAdmit || e.Kind == EventReforward {
+		if e.Kind == EventAdmit || e.Kind == EventReforward || e.Kind == EventRecover {
 			if e.To == from && e.At >= victimAt && c.loc[e.StreamID] == from {
 				victim, victimAt = e.StreamID, e.At
 			}
@@ -318,9 +488,23 @@ func (c *Cluster) reforward(from, to int) {
 	if victim < 0 {
 		return
 	}
+	if c.continueStream(victim, from, to, EventReforward) {
+		c.counts[from]--
+	}
+}
+
+// continueStream stops stream victim on instance from and re-forwards
+// its remainder to instance to, rebinding the counting filter to the
+// target's shared T-YOLO and carrying the background model across. It
+// is shared by overload re-forwarding and failure recovery and reports
+// whether a continuation was created. The caller owns counts[from]
+// (reforward decrements it on success; fail decrements unconditionally
+// — the stream has left the dead instance either way); counts[to] and
+// the location/spec maps are updated here.
+func (c *Cluster) continueStream(victim, from, to int, kind EventKind) bool {
 	remaining, src, nextSeq, ok := c.instances[from].StopStream(victim)
 	if !ok || remaining <= 0 {
-		return
+		return false
 	}
 	old := c.specs[victim]
 	cont := old
@@ -334,14 +518,19 @@ func (c *Cluster) reforward(from, to int) {
 	cont.TYolo = &ty
 	// Seed the target detector's background if the source can provide it.
 	if bg, okBG := src.(interface{ Background() *imgproc.Gray }); okBG {
-		c.tgs[to].SetBackground(victim, bg.Background())
+		if b := bg.Background(); b != nil {
+			c.tgs[to].SetBackground(victim, b)
+		}
 	}
 	c.instances[to].AddStream(cont)
+	// The source instance's detector still holds the stream's background;
+	// defer the cleanup until the stopped fragment's frames drain.
+	c.unregs = append(c.unregs, unreg{inst: from, id: victim})
 	c.loc[victim] = to
 	c.specs[victim] = cont
-	c.counts[from]--
 	c.counts[to]++
-	c.events = append(c.events, Event{Kind: EventReforward, At: c.cfg.Clock.Now(), StreamID: victim, From: from, To: to})
+	c.events = append(c.events, Event{Kind: kind, At: c.cfg.Clock.Now(), StreamID: victim, From: from, To: to})
+	return true
 }
 
 // Report summarizes a cluster run.
@@ -359,6 +548,14 @@ type Report struct {
 }
 
 func (c *Cluster) report() *Report {
+	// The clock has fully drained: every deferred detector cleanup whose
+	// stream genuinely left its source instance is safe now.
+	for _, u := range c.unregs {
+		if c.loc[u.id] != u.inst {
+			c.tgs[u.inst].Unregister(u.id)
+		}
+	}
+	c.unregs = nil
 	r := &Report{Events: c.events, StreamFrames: make(map[int]int64), Realtime: true,
 		Cancelled: c.cancelled.Load()}
 	for _, inst := range c.instances {
@@ -396,6 +593,28 @@ func (r *Report) Reforwards() int {
 	n := 0
 	for _, e := range r.Events {
 		if e.Kind == EventReforward {
+			n++
+		}
+	}
+	return n
+}
+
+// Failures counts instances declared dead by failure detection.
+func (r *Report) Failures() int {
+	n := 0
+	for _, e := range r.Events {
+		if e.Kind == EventFail {
+			n++
+		}
+	}
+	return n
+}
+
+// Recoveries counts streams re-forwarded off dead instances.
+func (r *Report) Recoveries() int {
+	n := 0
+	for _, e := range r.Events {
+		if e.Kind == EventRecover {
 			n++
 		}
 	}

@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"ffsva/internal/detect"
+	"ffsva/internal/device"
+	"ffsva/internal/faults"
+	"ffsva/internal/lab"
+	"ffsva/internal/pipeline"
+	"ffsva/internal/vclock"
+)
+
+// checkDetectorOwnership asserts that each stream's background model
+// lives only on the instance currently holding the stream — the shared
+// detector state leak the deferred unregistration exists to fix.
+func checkDetectorOwnership(t *testing.T, c *Cluster) {
+	t.Helper()
+	for id, inst := range c.loc {
+		for j := range c.tgs {
+			if j == inst {
+				continue
+			}
+			if c.tgs[j].Registered(id) {
+				t.Errorf("stream %d lives on instance %d but its background is still registered on %d", id, inst, j)
+			}
+		}
+	}
+}
+
+func TestInstanceCrashRecovery(t *testing.T) {
+	cam, err := lab.CarCamera(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := vclock.NewVirtual()
+	cfg := DefaultConfig(clk, 2)
+	cfg.Horizon = 35 * time.Second
+	cfg.Faults = []faults.Fault{{Kind: faults.InstanceCrash, Instance: 0, From: 8 * time.Second}}
+	cl := New(cfg, arrivals(t, cam, 4, 450, 2*time.Second))
+	rep := cl.Run()
+
+	if rep.Failures() != 1 {
+		for _, e := range rep.Events {
+			t.Logf("event: %v", e)
+		}
+		t.Fatalf("failures = %d, want 1", rep.Failures())
+	}
+	if !rep.Instances[0].Crashed {
+		t.Error("instance 0's report does not mark the crash")
+	}
+	// Admission alternates, so instance 0 held two streams at the crash;
+	// both must be re-forwarded to the survivor.
+	if rep.Recoveries() != 2 {
+		for _, e := range rep.Events {
+			t.Logf("event: %v", e)
+		}
+		t.Fatalf("recoveries = %d, want 2", rep.Recoveries())
+	}
+	// Conservation across the crash: every frame of every stream is
+	// decided exactly once — on the dead instance (including in-flight
+	// frames drained to DropError) or on its continuation.
+	for id, n := range rep.StreamFrames {
+		if n != 450 {
+			t.Errorf("stream %d decided %d frames across fragments, want 450", id, n)
+		}
+	}
+	checkDetectorOwnership(t, cl)
+}
+
+func TestInstanceCrashDeterministic(t *testing.T) {
+	cam, err := lab.CarCamera(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() (int, int, map[int]int64) {
+		clk := vclock.NewVirtual()
+		cfg := DefaultConfig(clk, 2)
+		cfg.Horizon = 35 * time.Second
+		cfg.Faults = []faults.Fault{{Kind: faults.InstanceCrash, Instance: 0, From: 8 * time.Second}}
+		rep := New(cfg, arrivals(t, cam, 4, 450, 2*time.Second)).Run()
+		return rep.Failures(), rep.Recoveries(), rep.StreamFrames
+	}
+	f1, r1, s1 := run()
+	f2, r2, s2 := run()
+	if f1 != f2 || r1 != r2 {
+		t.Fatalf("nondeterministic failure handling: (%d,%d) vs (%d,%d)", f1, r1, f2, r2)
+	}
+	for id, n := range s1 {
+		if s2[id] != n {
+			t.Errorf("stream %d: %d vs %d frames across runs", id, n, s2[id])
+		}
+	}
+}
+
+func TestAllInstancesDeadDegrades(t *testing.T) {
+	cam, err := lab.CarCamera(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := vclock.NewVirtual()
+	cfg := DefaultConfig(clk, 1)
+	cfg.Horizon = 30 * time.Second
+	cfg.Faults = []faults.Fault{{Kind: faults.InstanceCrash, Instance: 0, From: 5 * time.Second}}
+	// Two streams before the crash; a third arrives after the only
+	// instance is dead and must be dropped, not wedge the manager.
+	arr := arrivals(t, cam, 2, 450, time.Second)
+	arr = append(arr, Arrival{
+		At: 12 * time.Second,
+		ID: 999,
+		Make: func(tg *detect.TinyGrid) pipeline.StreamSpec {
+			return cam.Stream(999, tg, lab.StreamOptions{Seed: 9999, Frames: 450})
+		},
+	})
+	rep := New(cfg, arr).Run()
+
+	if rep.Failures() != 1 {
+		t.Fatalf("failures = %d, want 1", rep.Failures())
+	}
+	if rep.Recoveries() != 0 {
+		t.Fatalf("recoveries = %d, want 0 (no live instance left)", rep.Recoveries())
+	}
+	if rep.Admissions() != 2 {
+		t.Fatalf("admissions = %d, want 2 (post-crash arrival dropped)", rep.Admissions())
+	}
+	// The abandoned streams still satisfy per-fragment conservation
+	// (Report panics otherwise) but could not finish.
+	for _, id := range []int{100, 101} {
+		if n := rep.StreamFrames[id]; n <= 0 || n >= 450 {
+			t.Errorf("stream %d decided %d frames, want a partial (0, 450) count", id, n)
+		}
+	}
+	if _, ok := rep.StreamFrames[999]; ok {
+		t.Error("dropped arrival 999 has a frame count")
+	}
+}
+
+func TestReforwardClearsSourceDetector(t *testing.T) {
+	cam, err := lab.CarCamera(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := vclock.NewVirtual()
+	cfg := DefaultConfig(clk, 2)
+	cfg.Horizon = 40 * time.Second
+	cfg.OverloadChecks = 2
+	costs := device.Calibrated()
+	c := costs[device.ModelRef]
+	c.PerFrame = 55 * time.Millisecond
+	costs[device.ModelRef] = c
+	cfg.Pipeline.Costs = costs
+	cl := New(cfg, arrivals(t, cam, 3, 900, 500*time.Millisecond))
+	rep := cl.Run()
+
+	if rep.Reforwards() == 0 {
+		t.Skip("no re-forward occurred; overload recipe no longer triggers")
+	}
+	checkDetectorOwnership(t, cl)
+	for id, n := range rep.StreamFrames {
+		if n != 900 {
+			t.Errorf("stream %d decided %d frames across fragments, want 900", id, n)
+		}
+	}
+}
+
+func TestClusterDeviceSlowdownBindsToInstance(t *testing.T) {
+	cam, err := lab.CarCamera(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := vclock.NewVirtual()
+	cfg := DefaultConfig(clk, 2)
+	cfg.Horizon = 25 * time.Second
+	// Slow only instance 1's devices; instance 0 must stay clean.
+	cfg.Faults = []faults.Fault{{
+		Kind: faults.DeviceSlow, Instance: 1, Device: "cpu",
+		From: 0, Until: time.Hour, Factor: 2,
+	}}
+	rep := New(cfg, arrivals(t, cam, 2, 300, 2*time.Second)).Run()
+
+	if rep.Instances[0].FaultsInjected != 0 {
+		t.Errorf("instance 0 charged %d fault adjustments, want 0", rep.Instances[0].FaultsInjected)
+	}
+	if rep.Instances[1].FaultsInjected == 0 {
+		t.Error("instance 1 never charged a fault adjustment despite its 2× CPU slowdown")
+	}
+	for id, n := range rep.StreamFrames {
+		if n != 300 {
+			t.Errorf("stream %d decided %d frames, want 300", id, n)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"ffsva/internal/detect"
+	"ffsva/internal/faults"
 	"ffsva/internal/frame"
 	"ffsva/internal/lab"
 	"ffsva/internal/pipeline"
@@ -66,6 +67,17 @@ type Config struct {
 	MetricsEvery time.Duration
 	MetricsJSON  bool
 	MetricsOut   io.Writer
+
+	// Faults is the fault-injection plan (see faults.Parse for the spec
+	// syntax). In a single-instance run every fault applies to instance 0;
+	// in a cluster run stream faults travel with their streams and
+	// device/crash faults bind to Fault.Instance.
+	Faults []faults.Fault
+	// ShedAfter enables the online load-shedding bypass: a frame whose
+	// capture is later than its schedule by more than this is dropped at
+	// the ingest buffer (disposition DropShed) instead of stalling
+	// capture. Zero disables shedding.
+	ShedAfter time.Duration
 }
 
 // DefaultConfig returns a ready-to-run configuration.
@@ -147,6 +159,14 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		pcfg.BatchSize = cfg.BatchSize
 	}
 	pcfg.ChargeCosts = cfg.ChargeCosts
+	pcfg.ShedAfter = cfg.ShedAfter
+
+	// A single-instance run treats every planned fault as instance 0's.
+	var inj *faults.Injector
+	if len(cfg.Faults) > 0 {
+		inj = faults.NewInjector(faults.ForInstance(cfg.Faults, 0))
+		pcfg.AdjustService = inj.AdjustServiceTime
+	}
 
 	tg := detect.NewTinyGrid(detect.DefaultTinyGridConfig())
 	specs := make([]pipeline.StreamSpec, cfg.Streams)
@@ -159,8 +179,17 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			NumberOfObjects: cfg.NumberOfObjects,
 			Tolerance:       cfg.Tolerance,
 		})
+		if inj != nil {
+			specs[i].Source = inj.WrapSource(specs[i].Source, specs[i].ID)
+		}
 	}
 	sys := pipeline.New(pcfg, specs)
+	if at, ok := faults.CrashTime(cfg.Faults, 0); ok {
+		clk.Go("fault-crash", func() {
+			clk.Sleep(at)
+			sys.Crash()
+		})
+	}
 	if cfg.MetricsEvery > 0 && cfg.MetricsOut != nil {
 		out, asJSON := cfg.MetricsOut, cfg.MetricsJSON
 		sys.Monitor(cfg.MetricsEvery, func(sn pipeline.Snapshot) {

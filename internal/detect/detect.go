@@ -112,6 +112,26 @@ func NewTinyGrid(cfg TinyGridConfig) *TinyGrid {
 	return &TinyGrid{cfg: cfg, bg: make(map[int]*bgState)}
 }
 
+// Unregister drops a stream's background state. The cluster calls it
+// once a migrated-away (or crashed) stream's fragments have fully
+// drained from an instance — without it every re-forward would leak the
+// victim's background model into the source instance's detector
+// forever. It must not run while the stream still has in-flight frames
+// there: Detect would lazily re-create the state from the next frame.
+func (t *TinyGrid) Unregister(streamID int) {
+	t.mu.Lock()
+	delete(t.bg, streamID)
+	t.mu.Unlock()
+}
+
+// Registered reports whether a background model is held for the stream.
+func (t *TinyGrid) Registered(streamID int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.bg[streamID]
+	return ok
+}
+
 // SetBackground seeds the background model for a stream from a known
 // background image (the trainer does this from labeled background
 // frames, mirroring how the paper trains stream-specialized models).

@@ -130,6 +130,21 @@ type Device struct {
 	busy      time.Duration
 	switches  int64
 	served    int64
+
+	// adjust, when set, post-processes every computed service time
+	// before the device sleeps it (fault injection: slowdowns, stalls).
+	// Called with the device lock held; it must be fast and not block.
+	adjust func(now, dur time.Duration) time.Duration
+}
+
+// SetAdjust installs a service-time hook: every Use/UseResize duration
+// is passed through fn (with the current clock time) before being
+// slept. The faults package uses it to inject device slowdowns and
+// stalls; a nil fn removes the hook.
+func (d *Device) SetAdjust(fn func(now, dur time.Duration) time.Duration) {
+	d.mu.Lock()
+	d.adjust = fn
+	d.mu.Unlock()
 }
 
 // New creates a device with the given parallel capacity (1 for a GPU
@@ -166,6 +181,9 @@ func (d *Device) Use(model Model, n int, cm CostModel) time.Duration {
 		d.switches++
 		d.lastModel = model
 	}
+	if d.adjust != nil {
+		dur = d.adjust(d.clk.Now(), dur)
+	}
 	d.mu.Unlock()
 
 	d.clk.Sleep(dur)
@@ -193,6 +211,9 @@ func (d *Device) UseResize(model Model, n int, cm CostModel) time.Duration {
 		d.cond.Wait()
 	}
 	d.inUse++
+	if d.adjust != nil {
+		dur = d.adjust(d.clk.Now(), dur)
+	}
 	d.mu.Unlock()
 
 	d.clk.Sleep(dur)
@@ -200,6 +221,9 @@ func (d *Device) UseResize(model Model, n int, cm CostModel) time.Duration {
 	d.mu.Lock()
 	d.inUse--
 	d.busy += dur
+	// Resize work counts toward served like any other service, so
+	// Stats().Served reflects the device's full frame accounting.
+	d.served += int64(n)
 	d.cond.Signal()
 	d.mu.Unlock()
 	return dur

@@ -141,6 +141,51 @@ func TestUseResize(t *testing.T) {
 	clk.Run()
 }
 
+func TestServedCountsUseAndResize(t *testing.T) {
+	clk := vclock.NewVirtual()
+	cm := Calibrated()
+	cpu := New(clk, "cpu", CPU, 2)
+	clk.Go("stage", func() {
+		cpu.Use(ModelSDD, 7, cm)
+		cpu.UseResize(ModelTYolo, 5, cm)
+	})
+	clk.Run()
+	if got := cpu.Stats().Served; got != 12 {
+		t.Fatalf("served = %d, want 12 (Use and UseResize both count)", got)
+	}
+}
+
+func TestSetAdjustScalesServiceTime(t *testing.T) {
+	clk := vclock.NewVirtual()
+	cm := Calibrated()
+	gpu := New(clk, "gpu1", GPU, 1)
+	gpu.SetAdjust(func(now, dur time.Duration) time.Duration { return 2 * dur })
+	clk.Go("stage", func() {
+		gpu.Use(ModelRef, 1, cm)
+		if got, want := clk.Now(), 2*cm[ModelRef].PerFrame; got != want {
+			t.Errorf("adjusted ref frame took %v, want %v", got, want)
+		}
+		d := gpu.UseResize(ModelTYolo, 1, cm)
+		if want := 2 * cm[ModelTYolo].Resize; d != want {
+			t.Errorf("adjusted resize charged %v, want %v", d, want)
+		}
+	})
+	clk.Run()
+	// A removed hook restores nominal service times.
+	gpu.SetAdjust(nil)
+	clk2 := vclock.NewVirtual()
+	gpu2 := New(clk2, "gpu1", GPU, 1)
+	gpu2.SetAdjust(func(now, dur time.Duration) time.Duration { return 2 * dur })
+	gpu2.SetAdjust(nil)
+	clk2.Go("stage", func() {
+		gpu2.Use(ModelRef, 1, cm)
+		if got, want := clk2.Now(), cm[ModelRef].PerFrame; got != want {
+			t.Errorf("hook removal: ref frame took %v, want %v", got, want)
+		}
+	})
+	clk2.Run()
+}
+
 func TestUseZeroFrames(t *testing.T) {
 	clk := vclock.NewVirtual()
 	gpu := New(clk, "gpu", GPU, 1)

@@ -1,0 +1,94 @@
+package faults
+
+import (
+	"ffsva/internal/frame"
+	"ffsva/internal/imgproc"
+)
+
+// FrameSource matches pipeline.FrameSource without importing it.
+type FrameSource interface {
+	Next() *frame.Frame
+}
+
+// WrapSource wraps a stream's frame source with the injector's
+// stream-level faults (decode errors, corruption). Sources with no
+// matching faults are returned unchanged, so healthy streams pay
+// nothing. The wrapper travels with the stream across instance
+// migrations, exactly like the underlying source.
+func (inj *Injector) WrapSource(src FrameSource, stream int) FrameSource {
+	if !inj.hasStreamFaults(stream) {
+		return src
+	}
+	return &Source{inner: src, inj: inj, stream: stream}
+}
+
+// Source is a frame source with scheduled decode failures and frame
+// corruption. It implements the pipeline's FallibleSource protocol: the
+// prefetcher probes DecodeFails before each pull, retrying within its
+// budget, and calls Discard to abandon a frame whose failures exhaust
+// the budget — the frame slot is consumed (sequence numbers stay
+// aligned with the record ledger) but no frame is delivered.
+type Source struct {
+	inner  FrameSource
+	inj    *Injector
+	stream int
+	// seq is the source sequence number of the next frame; attempts
+	// counts the decode failures already surfaced for it.
+	seq      int64
+	attempts int
+}
+
+// DecodeFails reports whether the next decode attempt of the current
+// frame fails, consuming one scheduled failure. Not safe for concurrent
+// use — only the stream's single prefetcher calls it.
+func (s *Source) DecodeFails() bool {
+	if s.attempts < s.inj.DecodeFailures(s.stream, s.seq) {
+		s.attempts++
+		return true
+	}
+	return false
+}
+
+// Next delivers the current frame (a successful decode), applying any
+// scheduled corruption.
+func (s *Source) Next() *frame.Frame {
+	f := s.inner.Next()
+	if s.inj.Corrupts(s.stream, s.seq) {
+		corrupt(f)
+	}
+	s.seq++
+	s.attempts = 0
+	return f
+}
+
+// Discard consumes the current frame without delivering it, for frames
+// whose decode failed past the retry budget. The underlying frame is
+// released back to its pool.
+func (s *Source) Discard() {
+	if f := s.inner.Next(); f != nil {
+		f.Release()
+	}
+	s.seq++
+	s.attempts = 0
+}
+
+// Background exposes the inner source's trained background so cluster
+// re-forwarding can re-seed the target instance's detector through the
+// wrapper. Returns nil when the inner source has none.
+func (s *Source) Background() *imgproc.Gray {
+	if bg, ok := s.inner.(interface{ Background() *imgproc.Gray }); ok {
+		return bg.Background()
+	}
+	return nil
+}
+
+// corrupt deterministically scrambles a frame's payload and marks it,
+// modeling a bitstream error that survives the decoder. The XOR pattern
+// destroys the spatial structure the filters rely on while keeping the
+// damage reproducible.
+func corrupt(f *frame.Frame) {
+	f.Corrupt = true
+	for i := 0; i < len(f.Pix); i += 3 {
+		f.Pix[i] ^= 0xA5
+	}
+}

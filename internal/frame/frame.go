@@ -115,6 +115,10 @@ type Frame struct {
 	// Truth carries ground-truth annotations on synthetic frames; nil on
 	// frames from unknown sources.
 	Truth *Annotation
+	// Corrupt marks a frame whose payload was damaged in transit (fault
+	// injection): the pipeline rejects it before filtering rather than
+	// feeding garbage to the cascade.
+	Corrupt bool
 	// pooled marks Pix as borrowed from the frame-buffer pool; Release
 	// returns it there.
 	pooled bool

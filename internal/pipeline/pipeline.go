@@ -88,9 +88,18 @@ const (
 	// vanish with no Record, leaving Done=false holes that silently skew
 	// accuracy and latency accounting.
 	DropClosed
+	// DropError marks a frame lost to a fault: a decode failure past the
+	// retry budget, a corrupted payload, or an instance crash while the
+	// frame was in flight. Recording it keeps the conservation invariant
+	// intact through failures.
+	DropError
+	// DropShed marks a frame dropped by the load-shedding bypass: with
+	// Config.ShedAfter exceeded and the capture buffer full, ingest sheds
+	// instead of stalling, preserving the ≥30 FPS capture guarantee.
+	DropShed
 
 	// NumDispositions sizes per-disposition count arrays.
-	NumDispositions = 5
+	NumDispositions = 7
 )
 
 // String names the disposition.
@@ -104,6 +113,10 @@ func (d Disposition) String() string {
 		return "drop-t-yolo"
 	case DropClosed:
 		return "drop-closed"
+	case DropError:
+		return "drop-error"
+	case DropShed:
+		return "drop-shed"
 	default:
 		return "detected"
 	}
@@ -137,6 +150,21 @@ func (r Record) Latency() time.Duration { return r.Decided - r.Captured }
 // FrameSource produces a stream's frames; vidgen.Stream implements it.
 type FrameSource interface {
 	Next() *frame.Frame
+}
+
+// FallibleSource is a FrameSource whose decodes can fail (fault
+// injection; faults.Source implements it). The prefetcher probes
+// DecodeFails before pulling: each true is one failed attempt, retried
+// within Config.DecodeRetryBudget. A frame still failing past the
+// budget is abandoned via Discard — the source advances past it without
+// delivering a frame — and recorded as DropError so the conservation
+// ledger stays complete. The probe/pull split keeps the actual pull
+// atomic with the stop check (continuation sizing), which a consuming
+// try-decode could not.
+type FallibleSource interface {
+	FrameSource
+	DecodeFails() bool
+	Discard()
 }
 
 // StreamSpec is one video stream plus its specialized filters.
@@ -204,6 +232,30 @@ type Config struct {
 	// Ref is the reference model detector (shared).
 	Ref detect.Detector
 
+	// Fault tolerance.
+
+	// DecodeRetryBudget is how many times a failed frame decode is
+	// retried before the frame is abandoned with DropError. Zero means
+	// the default (2); negative disables retries.
+	DecodeRetryBudget int
+	// ShedAfter enables the load-shedding bypass when positive: once a
+	// stream's ingest lateness exceeds it, frames that do not fit in the
+	// capture buffer are shed (DropShed) instead of blocking ingest, so
+	// capture holds its FPS while the back-end is degraded. Zero keeps
+	// the default blocking behaviour.
+	ShedAfter time.Duration
+	// AdjustService, when set, post-processes every modeled device
+	// service time: it receives the device name, the current clock time,
+	// and the nominal duration, and returns the duration to charge. The
+	// faults package supplies it to inject device slowdowns and stalls;
+	// it must be fast and must not block.
+	AdjustService func(dev string, now, dur time.Duration) time.Duration
+	// HeartbeatEvery, when positive, runs a liveness heartbeat process:
+	// the instance stamps its clock time every interval until it crashes
+	// or finishes. A cluster manager detects a dead instance by the
+	// stamp going stale. Zero (the default) runs no heartbeat.
+	HeartbeatEvery time.Duration
+
 	// Ablation switches (not part of the paper's system; used by the
 	// ablation benches to quantify each design choice).
 
@@ -266,6 +318,12 @@ func (c *Config) fill() {
 	if c.FilterGPUs <= 0 {
 		c.FilterGPUs = 1
 	}
+	switch {
+	case c.DecodeRetryBudget == 0:
+		c.DecodeRetryBudget = 2
+	case c.DecodeRetryBudget < 0:
+		c.DecodeRetryBudget = 0
+	}
 }
 
 // streamState is the per-stream runtime.
@@ -287,7 +345,6 @@ type streamState struct {
 	// counts tallies decided frames by Disposition as they finish, so the
 	// live Snapshot can report per-stage drops before Report runs.
 	counts     [NumDispositions]int64
-	done       bool
 	stop       bool // set by StopStream; prefetch halts at next frame
 	ingestDone bool // prefetch exhausted its frames (or stopped)
 }
@@ -325,6 +382,9 @@ type System struct {
 	dispCtr   *metrics.LabeledCounter // frames_disposed_total{disposition}
 	orphanCtr *metrics.Counter        // frames_orphaned_total (no owning stream)
 	snmBatch  *metrics.IntDist        // snm_batch_size
+	faultCtr  *metrics.Counter        // faults_injected_total
+	retryCtr  *metrics.Counter        // retries_total (decode retries)
+	shedCtr   *metrics.Counter        // shed_frames_total
 
 	recMu     sync.Locker // guards per-stream record bookkeeping
 	streamsMu sync.Locker // guards streams slice after Start
@@ -333,7 +393,11 @@ type System struct {
 	started   bool
 	finished  bool // refStage exited: no further frame can be decided
 	cancelled bool // CancelAll stopped ingest early (guarded by recMu)
+	crashed   bool // Crash() killed the instance (guarded by recMu)
 	liveSNM   int  // SNM stages still running + holds
+	// lastBeat is the heartbeat's latest clock stamp (guarded by recMu);
+	// it freezes when the instance crashes or finishes.
+	lastBeat time.Duration
 }
 
 // New builds a System; Start launches its processes on the configured
@@ -375,6 +439,9 @@ func New(cfg Config, specs []StreamSpec) *System {
 		dispCtr:   reg.LabeledCounter("frames_disposed_total"),
 		orphanCtr: reg.Counter("frames_orphaned_total"),
 		snmBatch:  reg.IntDist("snm_batch_size"),
+		faultCtr:  reg.Counter("faults_injected_total"),
+		retryCtr:  reg.Counter("retries_total"),
+		shedCtr:   reg.Counter("shed_frames_total"),
 	}
 	for i := 0; i < cfg.FilterGPUs; i++ {
 		s.filterGPUs = append(s.filterGPUs, device.New(cfg.Clock, fmt.Sprintf("gpu%d", i), device.GPU, 1))
@@ -388,6 +455,22 @@ func New(cfg Config, specs []StreamSpec) *System {
 	s.liveMu = cfg.Clock.NewLocker()
 	if cfg.SpillToStorage {
 		s.disk = device.New(cfg.Clock, "ssd", device.Disk, 1)
+	}
+	if cfg.AdjustService != nil {
+		devs := append([]*device.Device{s.cpu, s.gpu1}, s.filterGPUs...)
+		if s.disk != nil {
+			devs = append(devs, s.disk)
+		}
+		for _, d := range devs {
+			d := d
+			d.SetAdjust(func(now, dur time.Duration) time.Duration {
+				nd := cfg.AdjustService(d.Name, now, dur)
+				if nd != dur {
+					s.faultCtr.Inc()
+				}
+				return nd
+			})
+		}
 	}
 	for _, spec := range specs {
 		s.streams = append(s.streams, s.newStream(spec))

@@ -66,6 +66,13 @@ type Report struct {
 	// the stop, each of which still carries a final disposition.
 	Cancelled bool
 
+	// Crashed marks an instance killed by fault injection; its in-flight
+	// frames drained to DropError and the report is a valid partial run.
+	Crashed bool
+	// Fault-tolerance accounting: injected fault manifestations, decode
+	// retries, and frames shed by the load-shedding bypass.
+	FaultsInjected, Retries, ShedFrames int64
+
 	// Device accounting. GPU0Util is the first filter GPU (the paper's
 	// GPU-0); FilterGPUUtils lists all filter GPUs when FilterGPUs > 1.
 	CPUUtil, GPU0Util, GPU1Util float64
@@ -83,6 +90,11 @@ func (s *System) Report() *Report {
 		BatchPolicy: s.cfg.BatchPolicy,
 		BatchSize:   s.cfg.BatchSize,
 		Cancelled:   s.Cancelled(),
+		Crashed:     s.Crashed(),
+
+		FaultsInjected: s.faultCtr.Value(),
+		Retries:        s.retryCtr.Value(),
+		ShedFrames:     s.shedCtr.Value(),
 	}
 	var first, last time.Duration
 	first = -1
@@ -202,6 +214,13 @@ func (r *Report) String() string {
 		100*r.CPUUtil, 100*r.GPU0Util, r.GPU0Switches, 100*r.GPU1Util)
 	if r.Mode == Online {
 		fmt.Fprintf(&b, "\n  realtime=%v", r.Realtime)
+	}
+	if r.Crashed {
+		b.WriteString("\n  CRASHED (fault injection)")
+	}
+	if r.FaultsInjected > 0 || r.Retries > 0 || r.ShedFrames > 0 {
+		fmt.Fprintf(&b, "\n  faults: injected=%d retries=%d shed=%d",
+			r.FaultsInjected, r.Retries, r.ShedFrames)
 	}
 	return b.String()
 }

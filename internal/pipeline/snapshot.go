@@ -85,6 +85,9 @@ type Snapshot struct {
 	Mode        string        `json:"mode"`
 	BatchPolicy string        `json:"batch_policy"`
 	Finished    bool          `json:"finished"`
+	// Crashed marks a dead instance (fault injection): its heartbeat is
+	// frozen and in-flight frames drain to DropError.
+	Crashed bool `json:"crashed,omitempty"`
 
 	// Totals across streams.
 	Ingested int64                  `json:"ingested"`
@@ -127,6 +130,7 @@ func (s *System) Snapshot() Snapshot {
 		Mode:        s.cfg.Mode.String(),
 		BatchPolicy: s.cfg.BatchPolicy.String(),
 		Finished:    s.Finished(),
+		Crashed:     s.Crashed(),
 	}
 	s.liveMu.Lock()
 	elapsed := now - s.start
@@ -247,11 +251,14 @@ func (sn Snapshot) String() string {
 	if sn.Finished {
 		b.WriteString(" finished")
 	}
+	if sn.Crashed {
+		b.WriteString(" CRASHED")
+	}
 	fmt.Fprintf(&b, "\n  signals: t-yolo=%.1ffps lag=%v backlog=%d overloaded=%v",
 		sn.TYoloRate, sn.WorstLag.Round(time.Millisecond), sn.WorstBacklog, sn.Overloaded)
-	fmt.Fprintf(&b, "\n  drops: sdd=%d snm=%d t-yolo=%d detected=%d closed=%d orphaned=%d",
+	fmt.Fprintf(&b, "\n  drops: sdd=%d snm=%d t-yolo=%d detected=%d closed=%d error=%d shed=%d orphaned=%d",
 		sn.Drops[DropSDD], sn.Drops[DropSNM], sn.Drops[DropTYolo],
-		sn.Drops[Detected], sn.Drops[DropClosed], sn.Orphaned)
+		sn.Drops[Detected], sn.Drops[DropClosed], sn.Drops[DropError], sn.Drops[DropShed], sn.Orphaned)
 	fmt.Fprintf(&b, "\n  snm batches: n=%d mean=%.1f max=%d", sn.SNMBatchCount, sn.SNMBatchMean, sn.SNMBatchMax)
 	b.WriteString("\n  devices:")
 	for _, d := range sn.Devices {

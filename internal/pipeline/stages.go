@@ -28,6 +28,58 @@ func (s *System) Start() {
 		clk.Go(fmt.Sprintf("t-yolo[%d]", w), func() { s.tyWorker(w) })
 	}
 	clk.Go("ref", s.refStage)
+	if s.cfg.HeartbeatEvery > 0 {
+		clk.Go("heartbeat", s.heartbeat)
+	}
+}
+
+// heartbeat stamps liveness every HeartbeatEvery until the instance
+// crashes or finishes. A crashed instance's stamp freezes at the crash
+// time — the staleness a cluster manager's failure detection keys on.
+func (s *System) heartbeat() {
+	clk := s.cfg.Clock
+	for {
+		s.recMu.Lock()
+		if s.crashed {
+			s.recMu.Unlock()
+			return
+		}
+		s.lastBeat = clk.Now()
+		s.recMu.Unlock()
+		if s.Finished() {
+			return
+		}
+		clk.Sleep(s.cfg.HeartbeatEvery)
+	}
+}
+
+// Crash marks the instance dead at the current clock time: ingest halts
+// at the next frame boundary, every in-flight frame drains to DropError
+// without consuming device time, and the heartbeat freezes so a cluster
+// manager can detect the death. The frame ledger survives the crash —
+// Report still satisfies conservation — and StopStream still sizes
+// continuations correctly, which together let cluster recovery account
+// for and re-forward every stream of the dead instance.
+func (s *System) Crash() {
+	s.recMu.Lock()
+	s.crashed = true
+	s.recMu.Unlock()
+}
+
+// Crashed reports whether Crash was called.
+func (s *System) Crashed() bool {
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
+	return s.crashed
+}
+
+// Heartbeat returns the clock time of the instance's last liveness
+// stamp. Zero until the heartbeat process (Config.HeartbeatEvery) first
+// runs.
+func (s *System) Heartbeat() time.Duration {
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
+	return s.lastBeat
 }
 
 // launch spawns the per-stream stage processes.
@@ -179,6 +231,7 @@ func (s *System) prefetch(st *streamState) {
 	}
 	interval := time.Second / time.Duration(st.spec.FPS)
 	epoch := clk.Now()
+	fsrc, fallible := st.spec.Source.(FallibleSource)
 	for i := 0; i < st.spec.Frames; i++ {
 		target := epoch + time.Duration(i)*interval
 		if s.cfg.Mode == Online {
@@ -186,18 +239,58 @@ func (s *System) prefetch(st *streamState) {
 				clk.Sleep(target - now)
 			}
 		}
-		if s.cfg.ChargeCosts {
+		// A stopped (migrated/cancelled) or crashed stream must not pay
+		// decode for a frame it will never ingest; the authoritative
+		// check below re-runs atomically with the pull.
+		s.recMu.Lock()
+		halted := st.stop || s.crashed
+		s.recMu.Unlock()
+		if halted {
+			break
+		}
+		// Decode, retrying transient failures within the budget. Every
+		// attempt — failed or successful — pays the decode service time.
+		lost := false
+		if fallible {
+			for tries := 0; fsrc.DecodeFails(); {
+				s.faultCtr.Inc()
+				if s.cfg.ChargeCosts {
+					s.cpu.Use(device.ModelDecode, 1, s.cfg.Costs)
+				}
+				tries++
+				if tries > s.cfg.DecodeRetryBudget {
+					lost = true
+					break
+				}
+				s.retryCtr.Inc()
+			}
+		}
+		if !lost && s.cfg.ChargeCosts {
 			s.cpu.Use(device.ModelDecode, 1, s.cfg.Costs)
 		}
 		// The stop check must be atomic with pulling the frame: StopStream
 		// reads ingested to size the continuation, so once it returns this
 		// prefetcher may not take another frame — a frame ingested after a
-		// stale pre-sleep check would be owned by both fragments and the
+		// stale pre-decode check would be owned by both fragments and the
 		// continuation's last frame would fall outside its record window.
 		s.recMu.Lock()
-		if st.stop {
+		if st.stop || s.crashed {
 			s.recMu.Unlock()
-			break // stream re-forwarded elsewhere
+			break // stream re-forwarded elsewhere (or instance dead)
+		}
+		if lost {
+			// Permanent decode failure: consume the frame's slot so the
+			// source stays seq-aligned, and ledger it as DropError.
+			seq := st.spec.SeqBase + st.ingested
+			fsrc.Discard()
+			if i == 0 {
+				st.firstCap = clk.Now()
+			}
+			st.ingested++
+			s.recMu.Unlock()
+			s.ingestCtr.Inc()
+			s.finishLost(st, seq, DropError)
+			continue
 		}
 		f := st.spec.Source.Next()
 		f.StreamID = st.spec.ID
@@ -208,11 +301,21 @@ func (s *System) prefetch(st *streamState) {
 		st.ingested++
 		s.recMu.Unlock()
 		s.ingestCtr.Inc()
+		late := clk.Now() - target
 		if st.spill != nil {
 			// Spill keeps ingest non-blocking: while spilled frames are
 			// owed, new ones must also spill to preserve order.
 			if st.spill.Pending() > 0 || !st.sddQ.TryPut(f) {
 				st.spill.Write(f)
+			}
+		} else if s.cfg.Mode == Online && s.cfg.ShedAfter > 0 && late > s.cfg.ShedAfter {
+			// Load-shedding bypass: the stream has already fallen past the
+			// threshold, so a full capture buffer sheds the frame instead
+			// of stalling ingest — capture holds its FPS while the
+			// back-end is degraded (the paper's ≥30 FPS ingest guarantee).
+			if !st.sddQ.TryPut(f) {
+				s.shedCtr.Inc()
+				s.finish(st, f, DropShed, -1)
 			}
 		} else if !st.sddQ.Put(f) {
 			s.finish(st, f, DropClosed, -1)
@@ -249,6 +352,17 @@ func (s *System) sddStage(st *streamState) {
 		if !ok {
 			break
 		}
+		if s.Crashed() {
+			// Dead instance: drain without consuming device time.
+			s.finish(st, f, DropError, -1)
+			continue
+		}
+		if f.Corrupt {
+			// Damaged payload: reject before feeding the cascade garbage.
+			s.faultCtr.Inc()
+			s.finish(st, f, DropError, -1)
+			continue
+		}
 		if s.cfg.DisableSDD {
 			if !st.snmQ.Put(f) {
 				s.finish(st, f, DropClosed, -1)
@@ -281,6 +395,12 @@ func (s *System) snmStage(st *streamState) {
 		}
 		if len(batch) == 0 {
 			break
+		}
+		if s.Crashed() {
+			for _, f := range batch {
+				s.finish(st, f, DropError, -1)
+			}
+			continue
 		}
 		s.snmBatch.Observe(len(batch))
 		if s.cfg.DisableSNM {
@@ -380,6 +500,12 @@ func (s *System) tyWorker(w int) {
 				continue
 			}
 			note.sub(len(batch))
+			if s.Crashed() {
+				for _, f := range batch {
+					s.finish(st, f, DropError, -1)
+				}
+				continue
+			}
 			if s.cfg.ChargeCosts {
 				s.cpu.UseResize(device.ModelTYolo, len(batch), s.cfg.Costs)
 				tyGPU := s.filterGPUs[w]
@@ -412,6 +538,14 @@ func (s *System) refStage() {
 		f, ok := s.refQ.Get()
 		if !ok {
 			break
+		}
+		if s.Crashed() {
+			if st := s.lookupStream(f.StreamID, f.Seq); st != nil {
+				s.finish(st, f, DropError, -1)
+			} else {
+				s.orphanCtr.Inc()
+			}
+			continue
 		}
 		if s.cfg.ChargeCosts {
 			s.gpu1.Use(device.ModelRef, 1, s.cfg.Costs)
@@ -472,12 +606,34 @@ func (s *System) finish(st *streamState, f *frame.Frame, d Disposition, refCount
 		st.lastDone = rec.Decided
 	}
 	st.counts[d]++
-	st.done = true
 	s.recMu.Unlock()
 	// finish is the single terminal point of a frame's journey, so this
 	// is the one place its pixel plane can go back to the frame pool
 	// (a no-op for frames not built by frame.NewPooled).
 	f.Release()
+}
+
+// finishLost records a frame that was consumed from the source but never
+// delivered (decode failure past the retry budget): there is no frame
+// object to route or release, but the slot must still appear in the
+// ledger or the conservation invariant would see a hole.
+func (s *System) finishLost(st *streamState, seq int64, d Disposition) {
+	now := s.cfg.Clock.Now()
+	rec := Record{
+		Done: true, Seq: seq, Disposition: d,
+		Captured: now, Decided: now,
+		TruthCount: -1, RefCount: -1,
+	}
+	s.dispCtr.With(d.String()).Inc()
+	s.recMu.Lock()
+	if idx := seq - st.spec.SeqBase; idx >= 0 && idx < int64(len(st.records)) {
+		st.records[idx] = rec
+	}
+	if now > st.lastDone {
+		st.lastDone = now
+	}
+	st.counts[d]++
+	s.recMu.Unlock()
 }
 
 // TYoloRate reports the shared T-YOLO stage's recent processing rate in
