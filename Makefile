@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race ci bench bench-all
+.PHONY: all build vet lint fmt-check test race ci bench bench-all
 
 all: build
 
@@ -17,6 +17,16 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs ffslint — the repo's own four invariant analyzers (detnow,
+# putcheck, poolrelease, dispositions; see DESIGN.md §12) — plus a gofmt
+# cleanliness check. Zero unsuppressed diagnostics is the bar.
+lint: fmt-check
+	$(GO) run ./cmd/ffslint ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -28,10 +38,15 @@ test:
 race:
 	$(GO) test -race ./internal/queue ./internal/pipeline ./internal/par ./internal/nn ./internal/detect ./internal/faults ./internal/cluster
 
+# The experiments suite alone needs ~20 min under -race (the virtual
+# clock is cooperative, so the race detector's overhead doesn't
+# parallelize); go test's default 600s per-binary timeout is too tight
+# when the whole suite runs concurrently.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
-	$(GO) test -race ./...
+	$(MAKE) lint
+	$(GO) test -race -timeout 3600s ./...
 
 # bench records kernel-level serial-vs-parallel throughput and a
 # wall-clock end-to-end FPS figure to BENCH_kernels.json.

@@ -1,0 +1,94 @@
+// Command ffslint runs the repo's custom static-analysis suite: four
+// analyzers that machine-check the pipeline's invariants (determinism,
+// no silent frame loss, pooled-buffer release, frame-disposition
+// accounting). It is stdlib-only — go/parser + go/types with a source
+// importer — so `make lint` needs no module downloads.
+//
+// Usage:
+//
+//	ffslint [-run detnow,putcheck,...] [-tests] [-list] [packages]
+//
+// Exit status is 1 when any unsuppressed diagnostic is reported.
+// Suppress a finding with a reasoned annotation on (or directly above)
+// the flagged line:
+//
+//	//lint:allow <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ffsva/internal/analysis"
+)
+
+func main() {
+	var (
+		runList  = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		tests    = flag.Bool("tests", false, "also lint in-package _test.go files")
+		listOnly = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Parse()
+
+	if *listOnly {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-13s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All()
+	if *runList != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*runList, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "ffslint: unknown analyzer %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	loader.IncludeTests = *tests
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+
+	bad := 0
+	for _, pkg := range pkgs {
+		for _, d := range analysis.RunAnalyzers(pkg, analyzers) {
+			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				d.Pos.Filename = rel
+			}
+			fmt.Println(d)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "ffslint: %d invariant violation(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ffslint:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// detnowAllowedPkgs are whole packages allowed to touch the wall clock
+// or, by extension, ambient nondeterminism. Keyed by module-relative
+// package path; the value is the justification (shown in -list).
+//
+// Everything else must take a vclock.Clock (time) and a seeded
+// *rand.Rand (randomness), so simulations replay bit-identically.
+var detnowAllowedPkgs = map[string]string{
+	// The clock abstraction itself: RealClock is the one sanctioned
+	// bridge to wall time.
+	"internal/vclock": "RealClock wraps the wall clock; this is the abstraction boundary",
+	// ffsbench measures real hardware throughput; wall-clock timing is
+	// its entire purpose.
+	"cmd/ffsbench": "benchmark harness measures wall-clock throughput by design",
+}
+
+// detnowTimeFuncs are the time package functions that read or schedule
+// against the wall clock. time.Duration arithmetic and constants stay
+// legal everywhere.
+var detnowTimeFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "AfterFunc": true,
+	"Since": true, "Until": true, "Tick": true, "NewTicker": true,
+	"NewTimer": true,
+}
+
+// detnowRandFuncs are the math/rand (and v2) package-level functions
+// that draw from the global source. rand.New/NewSource/NewZipf — the
+// seeded-constructor path — remain legal.
+var detnowRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Read": true,
+	"Seed": true,
+	// math/rand/v2 spellings.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64N": true, "Uint32N": true, "Uint64N": true, "UintN": true,
+	"Uint": true,
+}
+
+// DetNow forbids wall-clock reads (time.Now/Sleep/After/...) and global
+// math/rand draws outside internal/vclock and the explicit allowlist.
+// Every deterministic-simulation package must stay clock-pure: time
+// flows only through vclock.Clock and randomness only through seeded
+// *rand.Rand values, or virtual-time replays stop being bit-identical.
+var DetNow = &Analyzer{
+	Name: "detnow",
+	Doc:  "no wall clock or global math/rand outside internal/vclock and the allowlist (determinism)",
+	Run:  runDetNow,
+}
+
+func runDetNow(pass *Pass) {
+	for rel := range detnowAllowedPkgs {
+		if pathIs(pass.PkgPath, rel) {
+			return
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pn := pkgNameOf(pass.Info, sel.X)
+			if pn == nil {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "time":
+				if detnowTimeFuncs[sel.Sel.Name] {
+					pass.Reportf(call.Pos(),
+						"wall-clock time.%s breaks deterministic replay; take a vclock.Clock instead",
+						sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				if detnowRandFuncs[sel.Sel.Name] {
+					pass.Reportf(call.Pos(),
+						"global rand.%s breaks seeded reproducibility; draw from a per-caller *rand.Rand (rand.New(rand.NewSource(seed)))",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,9 @@
+package analysis
+
+import "testing"
+
+// TestDetNowGolden proves detnow fires on wall-clock and global-rand
+// seeds, stays silent on clock-pure forms, and honors suppressions.
+func TestDetNowGolden(t *testing.T) {
+	golden(t, DetNow, "testdata/src/detnow")
+}

@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Dispositions enforces frame conservation at the drop points: whenever
+// a *frame.Frame put is checked and fails, the failure path must either
+// record a Drop* disposition (finish/finishLost, a Disposition constant,
+// a drop/shed counter), release the frame, or re-forward it (another
+// put, a spill write, a channel send). A failure branch that does none
+// of these abandons the frame with no ledger entry — the hole that
+// breaks Report's conservation invariant across the SDD→SNM→T-YOLO
+// cascade.
+//
+// Unchecked puts are putcheck's domain; this analyzer audits the checked
+// ones.
+var Dispositions = &Analyzer{
+	Name: "dispositions",
+	Doc:  "the failure path of a checked frame Put must record a Drop* disposition, release, or re-forward the frame",
+	Run:  runDispositions,
+}
+
+func runDispositions(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IfStmt:
+				checkIfCond(pass, n)
+			case *ast.BlockStmt:
+				checkAssignedResults(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkIfCond handles the direct forms: `if !q.Put(f) { ... }` (failure
+// branch is the body) and `if q.Put(f) { ... } else { ... }` (failure
+// branch is the else).
+func checkIfCond(pass *Pass, s *ast.IfStmt) {
+	call, negated, ok := framePutInCond(pass, s.Cond, false)
+	if !ok {
+		return
+	}
+	var failure ast.Node
+	if negated {
+		failure = s.Body
+	} else {
+		if s.Else == nil {
+			pass.Reportf(call.Pos(),
+				"frame put is checked for success but has no else branch: the rejected-frame path must record a Drop* disposition or re-forward the frame")
+			return
+		}
+		failure = s.Else
+	}
+	if !hasDispositionSink(pass, failure) {
+		pass.Reportf(call.Pos(),
+			"failure path of this frame put records no disposition: finish it with a Drop*, release it, or re-forward it so conservation accounting holds")
+	}
+}
+
+// framePutInCond finds a queue put of a *frame.Frame inside a condition,
+// tracking logical negation so the caller knows which branch is the
+// failure path.
+func framePutInCond(pass *Pass, e ast.Expr, neg bool) (*ast.CallExpr, bool, bool) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return framePutInCond(pass, e.X, neg)
+	case *ast.UnaryExpr:
+		if e.Op.String() == "!" {
+			return framePutInCond(pass, e.X, !neg)
+		}
+	case *ast.BinaryExpr:
+		switch e.Op.String() {
+		case "&&", "||":
+			if call, n, ok := framePutInCond(pass, e.X, neg); ok {
+				return call, n, ok
+			}
+			return framePutInCond(pass, e.Y, neg)
+		}
+	case *ast.CallExpr:
+		if _, elem, ok := queuePutCall(pass.Info, e); ok {
+			if tv, found := pass.Info.Types[elem]; found && isFrameType(tv.Type) {
+				return e, neg, true
+			}
+		}
+	}
+	return nil, false, false
+}
+
+// checkAssignedResults handles `ok := q.Put(f)`: some later statement in
+// the same block must branch on ok, otherwise the failure is recorded
+// nowhere. (Polarity of the later branch is not re-derived; an explicit
+// branch on the result is taken as handling it.)
+func checkAssignedResults(pass *Pass, block *ast.BlockStmt) {
+	for i, stmt := range block.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			continue
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		_, elem, isPut := queuePutCall(pass.Info, call)
+		if !isPut {
+			continue
+		}
+		if tv, found := pass.Info.Types[elem]; !found || !isFrameType(tv.Type) {
+			continue
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue // blank discard is putcheck's diagnostic
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		branched := false
+		for _, later := range block.List[i+1:] {
+			ifs, ok := later.(*ast.IfStmt)
+			if ok && usesObject(pass.Info, ifs.Cond, obj) {
+				branched = true
+				break
+			}
+		}
+		if !branched {
+			pass.Reportf(call.Pos(),
+				"frame put result %q is never branched on: the failure path must record a Drop* disposition or re-forward the frame", id.Name)
+		}
+	}
+}
+
+// hasDispositionSink reports whether the failure path contains any
+// accepted accounting for the rejected frame.
+func hasDispositionSink(pass *Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.CallExpr:
+			if dispositionSinkCall(pass, m) {
+				found = true
+			}
+		case *ast.IncDecStmt:
+			if nameMentionsDrop(exprName(m.X)) {
+				found = true
+			}
+		case *ast.SendStmt:
+			found = true // re-forwarded via channel
+		}
+		return !found
+	})
+	return found
+}
+
+// dispositionSinkCall classifies one call as frame accounting.
+func dispositionSinkCall(pass *Pass, call *ast.CallExpr) bool {
+	// A Disposition constant argument (s.finish(st, f, DropClosed, -1)).
+	for _, a := range call.Args {
+		if isDispositionConst(pass.Info, a) {
+			return true
+		}
+	}
+	// Ledger and ownership sinks by name; re-forwarding by type.
+	if _, _, ok := queuePutCall(pass.Info, call); ok {
+		return true
+	}
+	var name, recv string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+		recv = exprName(fun.X)
+	}
+	switch name {
+	case "finish", "finishLost", "Finish", "Release", "Write", "panic":
+		return true
+	case "Inc", "Add":
+		// A counter whose name mentions dropping/shedding counts as the
+		// ledger entry (s.shedCtr.Inc()).
+		return nameMentionsDrop(recv)
+	}
+	return false
+}
+
+// exprName flattens an expression to its trailing identifier name.
+func exprName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.CallExpr:
+		return exprName(e.Fun)
+	}
+	return ""
+}
+
+// nameMentionsDrop matches counter names that plausibly ledger a lost
+// frame: drop/shed/orphan/lost.
+func nameMentionsDrop(name string) bool {
+	n := strings.ToLower(name)
+	for _, kw := range []string{"drop", "shed", "orphan", "lost", "discard"} {
+		if strings.Contains(n, kw) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+// TestDispositionsGolden proves dispositions fires on failure paths
+// that lose a frame silently (empty-handed branch, missing else,
+// never-branched result) and stays silent when the loss is ledgered
+// (Drop* finish, drop counter, release, re-forward) or suppressed.
+func TestDispositionsGolden(t *testing.T) {
+	golden(t, Dispositions, "testdata/src/dispositions")
+}

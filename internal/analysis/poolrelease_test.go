@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+// TestPoolReleaseGolden proves poolrelease fires on straight-line,
+// branch-partial, discarded and reassignment leaks, and stays silent on
+// the sanctioned forms: inline release, defer, escape via return /
+// queue / closure, per-iteration release, and reasoned suppressions.
+func TestPoolReleaseGolden(t *testing.T) {
+	golden(t, PoolRelease, "testdata/src/poolrelease")
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// PutCheck flags queue.Queue Put/TryPut calls whose boolean result is
+// discarded. A false return means the queue rejected the item — on a
+// frame queue that is a silently lost frame, the exact bug class PR 1
+// fixed with the DropClosed disposition. Every producer must branch on
+// the result (or annotate why losing the item is acceptable).
+var PutCheck = &Analyzer{
+	Name: "putcheck",
+	Doc:  "no discarded queue.Put/TryPut result: a false return is a silently dropped item",
+	Run:  runPutCheck,
+}
+
+func runPutCheck(pass *Pass) {
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			method, _, ok := queuePutCall(pass.Info, call)
+			if !ok {
+				return true
+			}
+			if discardsResult(stack, call) {
+				pass.Reportf(call.Pos(),
+					"%s result discarded: a false return means the queue rejected the item and it is silently lost; check it (or lint:allow with a reason)",
+					method)
+			}
+			return true
+		})
+	}
+}
+
+// discardsResult reports whether the call's boolean result is dropped:
+// used as a bare statement, spawned via go/defer, or assigned to blank.
+func discardsResult(stack []ast.Node, call *ast.CallExpr) bool {
+	// stack[len-1] == call; find the nearest relevant ancestor, looking
+	// through parentheses.
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.ExprStmt:
+			return true
+		case *ast.GoStmt, *ast.DeferStmt:
+			return true
+		case *ast.AssignStmt:
+			// Find which RHS the call is, and test the matching LHS for
+			// the blank identifier. Multi-assign with mismatched counts
+			// cannot involve a single-result Put.
+			for j, rhs := range parent.Rhs {
+				if ast.Unparen(rhs) == call && j < len(parent.Lhs) {
+					if id, ok := parent.Lhs[j].(*ast.Ident); ok && id.Name == "_" {
+						return true
+					}
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,10 @@
+package analysis
+
+import "testing"
+
+// TestPutCheckGolden proves putcheck fires on every discarded-result
+// form (statement, blank assign, go), stays silent on checked puts, and
+// honors suppressions.
+func TestPutCheckGolden(t *testing.T) {
+	golden(t, PutCheck, "testdata/src/putcheck")
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AllowPrefix introduces a suppression annotation. The full form is
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed on the flagged line or alone on the line directly above it. The
+// reason is mandatory: an unexplained suppression is itself a violation.
+const AllowPrefix = "//lint:allow"
+
+type suppression struct {
+	analyzer string
+}
+
+// suppressions maps file → line → the analyzers allowed there.
+type suppressions map[string]map[int][]suppression
+
+// allows reports whether d is covered by an annotation on its own line or
+// the line above.
+func (s suppressions) allows(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	for _, ln := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, sup := range lines[ln] {
+			if sup.analyzer == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectSuppressions scans every comment in the package for lint:allow
+// annotations. Malformed annotations (unknown analyzer, missing reason)
+// are returned as diagnostics so they fail the build instead of silently
+// suppressing nothing.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) (suppressions, []Diagnostic) {
+	sup := suppressions{}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, AllowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, AllowPrefix)
+				fields := strings.Fields(rest)
+				if len(fields) == 0 || ByName(fields[0]) == nil {
+					bad = append(bad, Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "lint:allow needs a known analyzer name (detnow, putcheck, poolrelease, dispositions)",
+					})
+					continue
+				}
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "lint:allow " + fields[0] + " needs a reason: every suppression must justify itself",
+					})
+					continue
+				}
+				m := sup[pos.Filename]
+				if m == nil {
+					m = map[int][]suppression{}
+					sup[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], suppression{analyzer: fields[0]})
+			}
+		}
+	}
+	return sup, bad
+}

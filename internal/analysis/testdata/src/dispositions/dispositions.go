@@ -1,0 +1,81 @@
+// Package dispositionsfix seeds dispositions violations: checked frame
+// puts whose failure path abandons the frame with no ledger entry, next
+// to every accepted form of accounting for the loss.
+package dispositionsfix
+
+import (
+	"ffsva/internal/frame"
+	"ffsva/internal/queue"
+)
+
+type counters struct {
+	dropped int
+	served  int
+}
+
+// badSilent checks the put but the failure branch loses the frame.
+func badSilent(q *queue.Queue[*frame.Frame], f *frame.Frame, c *counters) {
+	if !q.Put(f) { // want `failure path of this frame put records no disposition`
+		c.served = 0
+	}
+}
+
+// badNoElse checks for success but has no failure branch at all.
+func badNoElse(q *queue.Queue[*frame.Frame], f *frame.Frame, c *counters) {
+	if q.Put(f) { // want `no else branch`
+		c.served++
+	}
+}
+
+// badUnbranched assigns the result and never looks at it.
+func badUnbranched(q *queue.Queue[*frame.Frame], f *frame.Frame) {
+	ok := q.Put(f) // want `never branched on`
+	_ = ok
+}
+
+// goodRelease retires the rejected frame.
+func goodRelease(q *queue.Queue[*frame.Frame], f *frame.Frame) {
+	if !q.Put(f) {
+		f.Release()
+	}
+}
+
+// goodCounter ledgers the loss in a drop counter.
+func goodCounter(q *queue.Queue[*frame.Frame], f *frame.Frame, c *counters) {
+	if !q.TryPut(f) {
+		c.dropped++
+	}
+}
+
+// goodForward re-forwards the frame to a fallback queue.
+func goodForward(q, fallback *queue.Queue[*frame.Frame], f *frame.Frame) {
+	if !q.TryPut(f) {
+		if !fallback.Put(f) {
+			f.Release()
+		}
+	}
+}
+
+// goodElse handles the failure in the else arm.
+func goodElse(q *queue.Queue[*frame.Frame], f *frame.Frame, c *counters) {
+	if q.Put(f) {
+		c.served++
+	} else {
+		f.Release()
+	}
+}
+
+// goodBranchedLater branches on a stored result.
+func goodBranchedLater(q *queue.Queue[*frame.Frame], f *frame.Frame) {
+	ok := q.Put(f)
+	if !ok {
+		f.Release()
+	}
+}
+
+// suppressed documents an accepted silent loss.
+func suppressed(q *queue.Queue[*frame.Frame], f *frame.Frame, c *counters) {
+	if !q.Put(f) { //lint:allow dispositions fixture demonstrates a reasoned suppression
+		c.served = 0
+	}
+}

@@ -1,0 +1,98 @@
+// Package poolreleasefix seeds poolrelease violations: pooled
+// acquisitions abandoned on some intra-function path, next to every
+// sanctioned way of retiring one (release, defer, escape, forward).
+package poolreleasefix
+
+import (
+	"ffsva/internal/frame"
+	"ffsva/internal/imgproc"
+	"ffsva/internal/nn"
+	"ffsva/internal/queue"
+)
+
+// leakStraight never releases its tensor.
+func leakStraight() float32 {
+	t := nn.GetTensor(2, 2) // want `not released on every path`
+	return t.Data[0]
+}
+
+// leakOnEarlyReturn releases on only one of two paths.
+func leakOnEarlyReturn(cond bool) int {
+	g := imgproc.GetGray(4, 4) // want `not released on every path`
+	if cond {
+		return 0
+	}
+	g.Release()
+	return 1
+}
+
+// leakOneBranch releases in the then-arm only.
+func leakOneBranch(cond bool) {
+	g := imgproc.GetGray(4, 4) // want `not released on every path`
+	if cond {
+		g.Release()
+	}
+}
+
+// leakDiscarded drops the acquisition on the floor.
+func leakDiscarded() {
+	nn.GetTensor(1) // want `not released on every path`
+}
+
+// leakReassigned overwrites a live tensor, stranding the first one.
+func leakReassigned() {
+	t := nn.GetTensor(1) // want `not released on every path`
+	t = nn.GetTensor(2)
+	t.Release()
+}
+
+// releaseAllPaths is clean: both branches retire the image.
+func releaseAllPaths(cond bool) {
+	g := imgproc.GetGray(4, 4)
+	if cond {
+		g.Release()
+	} else {
+		g.Release()
+	}
+}
+
+// deferred is clean: the defer covers every later return.
+func deferred(cond bool) int {
+	t := nn.GetTensorDirty(3)
+	defer t.Release()
+	if cond {
+		return 0
+	}
+	return t.Len()
+}
+
+// escapes is clean: the frame is forwarded into a queue (the consumer
+// releases it, and the failed-put branch releases it here), and the
+// tensor is the function's return value.
+func escapes(q *queue.Queue[*frame.Frame]) *nn.Tensor {
+	f := frame.NewPooled(8, 8)
+	if !q.Put(f) {
+		f.Release()
+	}
+	return nn.GetTensor(2)
+}
+
+// perIteration is clean: each iteration retires its own image.
+func perIteration(n int) {
+	for i := 0; i < n; i++ {
+		g := imgproc.GetGray(2, 2)
+		g.Release()
+	}
+}
+
+// captured is clean: ownership moves into the closure.
+func captured() func() {
+	t := nn.GetTensor(4)
+	return func() { t.Release() }
+}
+
+// suppressed documents an accepted leak.
+func suppressed() {
+	t := nn.GetTensor(1) //lint:allow poolrelease fixture demonstrates a reasoned suppression
+	t.Len()
+}

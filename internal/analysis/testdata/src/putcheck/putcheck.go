@@ -1,0 +1,34 @@
+// Package putcheckfix seeds putcheck violations: queue puts whose
+// boolean result — the only signal that the item was rejected and
+// discarded — is thrown away.
+package putcheckfix
+
+import (
+	"ffsva/internal/frame"
+	"ffsva/internal/queue"
+)
+
+// bad discards put results in every way putcheck recognizes.
+func bad(q *queue.Queue[*frame.Frame], f *frame.Frame) {
+	q.Put(f)       // want `Put result discarded`
+	q.TryPut(f)    // want `TryPut result discarded`
+	_ = q.Put(f)   // want `Put result discarded`
+	go q.TryPut(f) // want `TryPut result discarded`
+}
+
+// good branches on (or propagates) every result.
+func good(q *queue.Queue[*frame.Frame], f *frame.Frame) bool {
+	if !q.Put(f) {
+		f.Release()
+	}
+	ok := q.TryPut(f)
+	if !ok {
+		f.Release()
+	}
+	return q.Put(f)
+}
+
+// suppressed documents an accepted fire-and-forget put.
+func suppressed(q *queue.Queue[*frame.Frame], f *frame.Frame) {
+	q.Put(f) //lint:allow putcheck fixture demonstrates a reasoned fire-and-forget
+}

@@ -64,6 +64,9 @@ type streamState struct {
 	lastDone  time.Duration
 	ingestLag time.Duration
 	detected  int64
+	// dropped counts frames rejected by a closed work queue — they were
+	// ingested but never analyzed, and the report must say so.
+	dropped int64
 }
 
 // System runs YOLOv2-only analysis.
@@ -162,7 +165,15 @@ func (s *System) prefetch(st *streamState) {
 			st.firstCap = f.Captured
 		}
 		st.ingested++
-		s.q.Put(f)
+		if !s.q.Put(f) {
+			// The queue only rejects after Close: this frame will never
+			// be analyzed, so ledger the loss and recycle its plane
+			// instead of dropping it silently.
+			s.mu.Lock()
+			st.dropped++
+			s.mu.Unlock()
+			f.Release()
+		}
 		if s.cfg.Mode == pipeline.Online {
 			if lag := clk.Now() - target; lag > st.ingestLag {
 				st.ingestLag = lag
@@ -203,6 +214,9 @@ func (s *System) worker(g *device.Device) {
 		}
 		s.mu.Unlock()
 		s.latency.Observe(now - f.Captured)
+		// The worker is the frame's terminal point: recycle its plane
+		// (a no-op for frames not built by frame.NewPooled).
+		f.Release()
 	}
 }
 
@@ -211,6 +225,7 @@ type StreamReport struct {
 	ID                     int
 	Ingested               int64
 	Detected               int64
+	Dropped                int64
 	FirstCapture, LastDone time.Duration
 	IngestLag              time.Duration
 }
@@ -246,6 +261,7 @@ func (s *System) Report() *Report {
 		}
 		r.Streams = append(r.Streams, StreamReport{
 			ID: st.spec.ID, Ingested: st.ingested, Detected: st.detected,
+			Dropped:      st.dropped,
 			FirstCapture: st.firstCap, LastDone: st.lastDone, IngestLag: st.ingestLag,
 		})
 	}
