@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint fmt-check test race ci bench bench-all
+.PHONY: all build vet lint fmt-check test race ci bench bench-all bench-trace trace-smoke
 
 all: build
 
@@ -18,9 +18,9 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint runs ffslint — the repo's own four invariant analyzers (detnow,
-# putcheck, poolrelease, dispositions; see DESIGN.md §12) — plus a gofmt
-# cleanliness check. Zero unsuppressed diagnostics is the bar.
+# lint runs ffslint — the repo's own five invariant analyzers (detnow,
+# putcheck, poolrelease, dispositions, spanend; see DESIGN.md §12) — plus
+# a gofmt cleanliness check. Zero unsuppressed diagnostics is the bar.
 lint: fmt-check
 	$(GO) run ./cmd/ffslint ./...
 
@@ -36,7 +36,7 @@ test:
 # kernels with their pooled buffers (worker pool, tensor/frame pools),
 # and the fault-injection + cluster failure/recovery paths.
 race:
-	$(GO) test -race ./internal/queue ./internal/pipeline ./internal/par ./internal/nn ./internal/detect ./internal/faults ./internal/cluster
+	$(GO) test -race ./internal/queue ./internal/pipeline ./internal/par ./internal/nn ./internal/detect ./internal/faults ./internal/cluster ./internal/trace ./internal/obs
 
 # The experiments suite alone needs ~20 min under -race (the virtual
 # clock is cooperative, so the race detector's overhead doesn't
@@ -47,6 +47,14 @@ ci:
 	$(GO) vet ./...
 	$(MAKE) lint
 	$(GO) test -race -timeout 3600s ./...
+	$(MAKE) trace-smoke
+
+# trace-smoke proves the Perfetto export end to end: a quickstart run
+# with tracing on, structurally validated by the stdlib-only checker.
+trace-smoke:
+	$(GO) run ./examples/quickstart -trace trace_smoke.json >/dev/null
+	$(GO) run ./cmd/tracecheck trace_smoke.json
+	@rm -f trace_smoke.json
 
 # bench records kernel-level serial-vs-parallel throughput and a
 # wall-clock end-to-end FPS figure to BENCH_kernels.json.
@@ -55,3 +63,8 @@ bench:
 
 bench-all:
 	$(GO) run ./cmd/ffsbench -scale quick
+
+# bench-trace gates the tracing overhead: the standard workload with
+# tracing off vs on must stay within 3% FPS, recorded in BENCH_trace.json.
+bench-trace:
+	$(GO) run ./cmd/ffsbench -only trace -scale quick

@@ -31,7 +31,7 @@ type tabler interface{ Tables() []*experiments.Table }
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
-	only := flag.String("only", "", "comma-separated experiment ids to run (default all): headline,table1,fig3,fig4,fig5,fig6a,fig6b,fig7,fig8,table2,fig9,fig10,ablations,extensions,metrics,kernels")
+	only := flag.String("only", "", "comma-separated experiment ids to run (default all): headline,table1,fig3,fig4,fig5,fig6a,fig6b,fig7,fig8,table2,fig9,fig10,ablations,extensions,metrics,kernels,trace")
 	outPath := flag.String("o", "", "write output to file instead of stdout")
 	metricsEvery := flag.Duration("metrics", 500*time.Millisecond, "snapshot interval for the metrics job")
 	metricsJSON := flag.Bool("metrics-json", false, "also dump each metrics-job snapshot as a JSON line")
@@ -88,6 +88,7 @@ func main() {
 		{"extensions", func() (tabler, error) { return runExtensions(scale) }},
 		{"metrics", func() (tabler, error) { return runMetrics(scale, *metricsEvery, *metricsJSON, out) }},
 		{"kernels", func() (tabler, error) { return runKernels(scale) }},
+		{"trace", func() (tabler, error) { return runTraceBench(scale) }},
 	}
 
 	fmt.Fprintf(out, "FFS-VA evaluation reproduction (scale=%s), started %s\n\n", scale.Name, time.Now().Format(time.RFC3339))

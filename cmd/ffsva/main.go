@@ -10,6 +10,7 @@
 //	      [-real] [-metrics 1s] [-metrics-json]
 //	      [-instances 2] [-arrival-every 2s]
 //	      [-inject spec]... [-shed-after 500ms]
+//	      [-trace out.json] [-trace-jsonl out.jsonl] [-listen :8080]
 //
 // -instances greater than one runs the multi-instance layer (§4.3)
 // instead of a single pipeline: streams arrive -arrival-every apart and
@@ -40,6 +41,20 @@
 // T-YOLO rate) is dumped to stderr, as text or as one JSON line with
 // -metrics-json.
 //
+// -trace records a span tree for every frame's journey through the
+// cascade (decode, each queue wait, SDD, SNM batch assembly + inference,
+// shared T-YOLO, reference model) and writes Chrome trace-event JSON —
+// open the file at https://ui.perfetto.dev to see one track per stage
+// and device, with feedback throttling, fault injections, and cluster
+// events as instants. -trace-jsonl writes the same spans as a
+// structured JSONL event log. The report also gains an aggregate
+// wait-vs-service latency decomposition table.
+//
+// -listen serves the live observability endpoint while the run is in
+// progress: /metrics (Prometheus text), /snapshot (JSON), /healthz
+// (heartbeat liveness), and /tracez (recent sampled traces). A
+// host-less address like ":8080" binds 127.0.0.1 only.
+//
 // By default the run executes under the deterministic virtual clock,
 // reproducing the paper's two-GPU server timings on any machine; -real
 // emulates the same service times in wall-clock time.
@@ -49,6 +64,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"time"
@@ -93,6 +109,9 @@ func main() {
 	arrivalEvery := flag.Duration("arrival-every", 2*time.Second, "stream arrival spacing in cluster mode")
 	flag.Var(injectFlag{&cfg.Faults}, "inject", "fault-injection spec (repeatable), e.g. crash:inst=1,at=8s")
 	flag.DurationVar(&cfg.ShedAfter, "shed-after", 0, "online load-shedding lateness threshold (0 disables)")
+	tracePath := flag.String("trace", "", "write Perfetto-loadable trace-event JSON to this file")
+	traceJSONL := flag.String("trace-jsonl", "", "write the structured JSONL trace log to this file")
+	listen := flag.String("listen", "", `serve the live observability endpoint (":8080" binds localhost)`)
 	flag.Parse()
 
 	switch *workload {
@@ -129,6 +148,25 @@ func main() {
 		cfg.MetricsEvery = *metricsEvery
 		cfg.MetricsJSON = *metricsJSON
 		cfg.MetricsOut = os.Stderr
+	}
+
+	var tracer *ffsva.Tracer
+	if *tracePath != "" || *traceJSONL != "" || *listen != "" {
+		tracer = ffsva.NewTracer(ffsva.TraceOptions{})
+		cfg.Trace = tracer
+	}
+	if *listen != "" {
+		server := ffsva.NewObsServer(*listen, tracer)
+		if cfg.MetricsEvery == 0 {
+			cfg.MetricsEvery = time.Second // the endpoint needs a snapshot cadence
+		}
+		cfg.OnSnapshot = server.Push
+		if err := server.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "ffsva: %v\n", err)
+			os.Exit(1)
+		}
+		defer server.Close()
+		fmt.Fprintf(os.Stderr, "ffsva: observability endpoint at http://%s/\n", server.Addr())
 	}
 
 	if err := cfg.Validate(); err != nil {
@@ -170,6 +208,7 @@ func main() {
 		for id := 0; id < cfg.Streams; id++ {
 			fmt.Printf("    stream %d: %d\n", id, rep.StreamFrames[id])
 		}
+		exportTrace(tracer, *tracePath, *traceJSONL)
 		return
 	}
 
@@ -192,4 +231,33 @@ func main() {
 		fmt.Printf("  stream %d: drops sdd/snm/t-yolo = %d/%d/%d, detected = %d, realized TOR %.3f\n",
 			sr.ID, sr.Counts[0], sr.Counts[1], sr.Counts[2], sr.Counts[3], sr.RealizedTOR)
 	}
+	exportTrace(tracer, *tracePath, *traceJSONL)
+}
+
+// exportTrace writes the recorded trace to the requested files; export
+// failures are reported but do not fail the run (the report already
+// printed).
+func exportTrace(tracer *ffsva.Tracer, tracePath, jsonlPath string) {
+	write := func(path string, emit func(io.Writer) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err == nil {
+			err = emit(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ffsva: trace export: %v\n", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "ffsva: wrote %s\n", path)
+	}
+	if tracer == nil {
+		return
+	}
+	write(tracePath, tracer.WriteTraceEvents)
+	write(jsonlPath, tracer.WriteJSONL)
 }

@@ -1,0 +1,36 @@
+// Command tracecheck structurally validates an exported Chrome
+// trace-event JSON file (the ffsva -trace / quickstart -trace output)
+// using only the standard library: the document must parse, carry a
+// non-empty traceEvents array, and every event must have the fields its
+// phase requires. `make trace-smoke` runs it as the CI gate; Perfetto
+// itself is the interactive judge.
+//
+// Usage:
+//
+//	tracecheck out.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ffsva"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>")
+		os.Exit(2)
+	}
+	path := os.Args[1]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+		os.Exit(1)
+	}
+	if err := ffsva.ValidateTrace(data); err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("tracecheck: %s ok (%d bytes)\n", path, len(data))
+}

@@ -2,21 +2,37 @@
 // what the cascade did with every frame.
 //
 //	go run ./examples/quickstart
+//
+// With -trace, every frame's journey is recorded and written as
+// Perfetto-loadable trace-event JSON:
+//
+//	go run ./examples/quickstart -trace out.json
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"ffsva"
 )
 
 func main() {
+	tracePath := flag.String("trace", "", "write Perfetto-loadable trace-event JSON to this file")
+	flag.Parse()
+
 	cfg := ffsva.DefaultConfig()
 	cfg.Workload = ffsva.WorkloadCar // a fixed camera watching a road
 	cfg.TOR = 0.10                   // cars visible in ~10% of frames
 	cfg.FramesPerStream = 1000
 	cfg.Mode = ffsva.Offline // analyze stored video as fast as possible
+
+	var tracer *ffsva.Tracer
+	if *tracePath != "" {
+		tracer = ffsva.NewTracer(ffsva.TraceOptions{})
+		cfg.Trace = tracer
+	}
 
 	// The first run trains the stream-specialized models (SDD reference
 	// and threshold, SNM network and thresholds); training is cached.
@@ -45,5 +61,19 @@ func main() {
 				rec.Seq, rec.RefCount, rec.Latency().Round(1e6))
 			shown++
 		}
+	}
+
+	if tracer != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tracer.WriteTraceEvents(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s — open it at https://ui.perfetto.dev\n", *tracePath)
 	}
 }

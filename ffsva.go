@@ -38,7 +38,9 @@ import (
 	"ffsva/internal/cluster"
 	"ffsva/internal/core"
 	"ffsva/internal/faults"
+	"ffsva/internal/obs"
 	"ffsva/internal/pipeline"
+	"ffsva/internal/trace"
 )
 
 // Re-exported configuration and result types.
@@ -73,6 +75,21 @@ type (
 	Fault = faults.Fault
 	// FaultKind classifies injected faults.
 	FaultKind = faults.Kind
+	// Tracer records a span tree per frame when set as Config.Trace;
+	// after the run, export with WriteTraceEvents (Perfetto-loadable
+	// Chrome trace-event JSON) or WriteJSONL.
+	Tracer = trace.Tracer
+	// TraceOptions bounds the tracer's retention; the zero value applies
+	// the defaults (head + ring + slowest-N + error sampling).
+	TraceOptions = trace.Options
+	// StageStat is one row of the wait-vs-service latency decomposition
+	// in Report.Spans.
+	StageStat = trace.StageStat
+	// Snapshot is one observation of the running pipeline (Config.OnSnapshot).
+	Snapshot = pipeline.Snapshot
+	// ObsServer is the live observability HTTP endpoint (/metrics,
+	// /snapshot, /healthz, /tracez); feed it via Config.OnSnapshot.
+	ObsServer = obs.Server
 )
 
 // Workloads (Table 1).
@@ -175,3 +192,18 @@ func RunClusterContext(ctx context.Context, cfg ClusterConfig) (*ClusterReport, 
 // Analyze computes the paper's accuracy accounting for one stream's
 // records with the given event-intensity threshold.
 func Analyze(records []Record, minObjects int) Accuracy { return core.Analyze(records, minObjects) }
+
+// NewTracer builds a per-frame tracer with the given retention bounds
+// (zero TraceOptions for the defaults). Set it as Config.Trace before
+// the run and export it afterwards.
+func NewTracer(opt TraceOptions) *Tracer { return trace.New(opt) }
+
+// NewObsServer builds the live observability endpoint for addr; a
+// host-less addr like ":8080" binds 127.0.0.1. tr may be nil. Wire
+// server.Push into Config.OnSnapshot (with Config.MetricsEvery set) and
+// call Start/Close around the run.
+func NewObsServer(addr string, tr *Tracer) *ObsServer { return obs.NewServer(addr, tr) }
+
+// ValidateTrace structurally checks an exported Chrome trace-event JSON
+// document (trace-smoke and tests use it; Perfetto is the real judge).
+func ValidateTrace(data []byte) error { return trace.Validate(data) }

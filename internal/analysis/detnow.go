@@ -17,6 +17,11 @@ var detnowAllowedPkgs = map[string]string{
 	// ffsbench measures real hardware throughput; wall-clock timing is
 	// its entire purpose.
 	"cmd/ffsbench": "benchmark harness measures wall-clock throughput by design",
+	// The observability endpoint serves HTTP outside the simulation;
+	// net/http stamps Date response headers (and enforces read-header
+	// timeouts) from the wall clock. Pipeline state still reaches it
+	// only as pushed virtual-clock snapshots.
+	"internal/obs": "HTTP server; wall clock feeds Date headers and socket timeouts only",
 }
 
 // detnowTimeFuncs are the time package functions that read or schedule

@@ -20,10 +20,39 @@ import (
 // states are merged with "still live in any branch ⇒ still live", so a
 // release on only one arm of an if is not enough. Aliasing, captures and
 // container stores conservatively end tracking (treated as escapes).
+// The walker itself is rule-parameterized and shared with SpanEnd, which
+// runs the same dataflow over trace span handles.
 var PoolRelease = &Analyzer{
 	Name: "poolrelease",
-	Doc:  "every pooled acquisition (nn.GetTensor, imgproc.GetGray, frame.NewPooled) is released or escapes on all paths",
-	Run:  runPoolRelease,
+	Doc:  "every pooled acquisition (nn.GetTensor, imgproc.GetGray, frame.NewPooled, trace.StartFrame) is released or escapes on all paths",
+	Run: func(pass *Pass) {
+		runPathCheck(pass, poolReleaseRules)
+	},
+}
+
+// prRules parameterizes the live-value dataflow walker: what starts
+// tracking a value, which method calls retire it, and how a leak reads.
+type prRules struct {
+	// acquire classifies a call as a tracked acquisition, returning a
+	// display name ("" otherwise).
+	acquire func(info *types.Info, call *ast.CallExpr) string
+	// retire names the methods that end tracking on their receiver;
+	// retireArgsOK permits arguments on those calls (Release takes
+	// none; a span's End/EndDrop take the clock reading).
+	retire       map[string]bool
+	retireArgsOK bool
+	// noun/verb/advice shape the diagnostic:
+	//   "<noun> <what> %q is not <verb> on every path (leaks at %s); <advice>"
+	noun, verb, advice string
+}
+
+var poolReleaseRules = &prRules{
+	acquire:      acquisitionName,
+	retire:       map[string]bool{"Release": true},
+	retireArgsOK: false,
+	noun:         "pooled",
+	verb:         "released",
+	advice:       "Release it, forward it, or lint:allow",
 }
 
 // prAcq records where a live pooled value was acquired.
@@ -46,11 +75,13 @@ func (st prLive) clone() prLive {
 
 type prWalker struct {
 	pass     *Pass
+	rules    *prRules
 	reported map[types.Object]bool
 	bare     map[*ast.CallExpr]bool // acquisition calls consumed by tracking/escape
 }
 
-func runPoolRelease(pass *Pass) {
+// runPathCheck runs the shared all-paths dataflow with one rule set.
+func runPathCheck(pass *Pass, rules *prRules) {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			var body *ast.BlockStmt
@@ -65,7 +96,7 @@ func runPoolRelease(pass *Pass) {
 			if body == nil {
 				return true
 			}
-			w := &prWalker{pass: pass, reported: map[types.Object]bool{}, bare: map[*ast.CallExpr]bool{}}
+			w := &prWalker{pass: pass, rules: rules, reported: map[types.Object]bool{}, bare: map[*ast.CallExpr]bool{}}
 			st := prLive{}
 			if !w.walkStmts(body.List, st) {
 				w.leakAll(st, "function return")
@@ -89,6 +120,10 @@ func acquisitionName(info *types.Info, call *ast.CallExpr) string {
 		return "imgproc.GetGray"
 	case pathIs(fn.Pkg().Path(), "internal/frame") && fn.Name() == "NewPooled":
 		return "frame.NewPooled"
+	case pathIs(fn.Pkg().Path(), "internal/trace") && fn.Name() == "StartFrame":
+		// FrameTrace records are pool-recycled by the tracer; a record
+		// that never reaches Finish (or a frame's Trace field) leaks.
+		return "trace.StartFrame"
 	}
 	return ""
 }
@@ -102,8 +137,8 @@ func (w *prWalker) leak(obj types.Object, a prAcq, where string) {
 		w.reported[obj] = true
 	}
 	w.pass.Reportf(a.pos,
-		"pooled %s %q is not released on every path (leaks at %s); Release it, forward it, or lint:allow",
-		a.what, a.name, where)
+		"%s %s %q is not %s on every path (leaks at %s); %s",
+		w.rules.noun, a.what, a.name, w.rules.verb, where, w.rules.advice)
 }
 
 func (w *prWalker) leakAll(st prLive, where string) {
@@ -147,7 +182,7 @@ func (w *prWalker) walkStmt(s ast.Stmt, st prLive) bool {
 	case *ast.ExprStmt:
 		call, ok := ast.Unparen(s.X).(*ast.CallExpr)
 		if ok {
-			if name := acquisitionName(w.pass.Info, call); name != "" && !w.bare[call] {
+			if name := w.rules.acquire(w.pass.Info, call); name != "" && !w.bare[call] {
 				// Result dropped on the floor: leaked immediately.
 				w.leak(nil, prAcq{pos: call.Pos(), what: name, name: "(discarded)"}, "this statement")
 				return false
@@ -262,7 +297,7 @@ func (w *prWalker) trackOrScan(id *ast.Ident, rhs ast.Expr, st prLive) {
 	}
 	call, isCall := ast.Unparen(rhs).(*ast.CallExpr)
 	if isCall {
-		if name := acquisitionName(w.pass.Info, call); name != "" {
+		if name := w.rules.acquire(w.pass.Info, call); name != "" {
 			w.bare[call] = true
 			if id.Name == "_" {
 				w.leak(nil, prAcq{pos: call.Pos(), what: name, name: "_"}, "this statement")
@@ -293,7 +328,7 @@ func (w *prWalker) trackOrScan(id *ast.Ident, rhs ast.Expr, st prLive) {
 // marks them done.
 func (w *prWalker) releasesInDefer(call *ast.CallExpr, st prLive) bool {
 	released := false
-	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Release" {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && w.rules.retire[sel.Sel.Name] {
 		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
 			if obj := w.pass.Info.Uses[id]; obj != nil {
 				if _, live := st[obj]; live {
@@ -384,12 +419,14 @@ func (w *prWalker) walkExpr(e ast.Expr, escaping bool, st prLive) {
 
 // walkCall applies sink semantics to a call and scans its arguments.
 func (w *prWalker) walkCall(call *ast.CallExpr, st prLive) {
-	// v.Release() retires v.
-	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Release" && len(call.Args) == 0 {
+	// A retire method (v.Release(), sp.End(now), …) retires its receiver;
+	// only tracked objects are affected, so an unrelated type sharing the
+	// method name is a harmless no-op here.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && w.rules.retire[sel.Sel.Name] &&
+		(w.rules.retireArgsOK || len(call.Args) == 0) {
 		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
 			if obj := w.pass.Info.Uses[id]; obj != nil {
 				delete(st, obj)
-				return
 			}
 		}
 	}

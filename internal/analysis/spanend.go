@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SpanEnd checks that every trace span handle — the value returned by
+// trace's Start* helpers (FrameTrace.StartSpan today) — reaches End or
+// EndDrop, or escapes the function, on every intra-function path. A span
+// opened and never closed records nothing: the frame's latency
+// decomposition silently loses that stage, which is exactly the failure
+// mode tracing exists to rule out.
+//
+// It reuses poolrelease's all-paths dataflow walker with a different
+// rule set: acquisitions are Start* calls producing a trace.SpanHandle,
+// and the retire methods (End, EndDrop) take the clock reading as an
+// argument. Escapes — returning the handle, storing it, passing it on —
+// conservatively end tracking, same as poolrelease.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc:  "every trace span handle (trace.Start*) is Ended, EndDropped, or escapes on all paths",
+	Run: func(pass *Pass) {
+		runPathCheck(pass, spanEndRules)
+	},
+}
+
+var spanEndRules = &prRules{
+	acquire:      spanAcquisitionName,
+	retire:       map[string]bool{"End": true, "EndDrop": true},
+	retireArgsOK: true,
+	noun:         "span",
+	verb:         "ended",
+	advice:       "End it, EndDrop it, forward it, or lint:allow",
+}
+
+// spanAcquisitionName classifies a call as a span-handle acquisition: a
+// Start*-named function or method of internal/trace whose result is a
+// trace.SpanHandle. Matching by result type keeps the rule robust as the
+// trace package grows more Start helpers.
+func spanAcquisitionName(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || !pathIs(fn.Pkg().Path(), "internal/trace") {
+		return ""
+	}
+	if !strings.HasPrefix(fn.Name(), "Start") {
+		return ""
+	}
+	named := namedOf(info.TypeOf(call))
+	if named == nil || named.Obj().Name() != "SpanHandle" ||
+		named.Obj().Pkg() == nil || !pathIs(named.Obj().Pkg().Path(), "internal/trace") {
+		return ""
+	}
+	return "trace." + fn.Name()
+}

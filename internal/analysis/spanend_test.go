@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+// TestSpanEndGolden proves spanend fires on straight-line, branch-partial
+// and discarded unclosed spans, and stays silent on the sanctioned forms:
+// End/EndDrop on every arm, defer, escape via return or closure, and
+// reasoned suppressions.
+func TestSpanEndGolden(t *testing.T) {
+	golden(t, SpanEnd, "testdata/src/spanend")
+}

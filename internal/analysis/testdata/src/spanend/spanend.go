@@ -1,0 +1,81 @@
+// Package spanendfix seeds spanend violations: trace span handles
+// abandoned on some intra-function path, next to every sanctioned way of
+// closing one (End, EndDrop, defer, escape, suppression).
+package spanendfix
+
+import (
+	"time"
+
+	"ffsva/internal/trace"
+)
+
+// use keeps a handle alive without closing it or letting it escape:
+// ordinary call arguments are not ownership transfers.
+func use(trace.SpanHandle) {}
+
+// leakStraight opens a span and never closes it.
+func leakStraight(ft *trace.FrameTrace, now time.Duration) {
+	sp := ft.StartSpan(trace.KSDD, "cpu", now) // want `not ended on every path`
+	use(sp)
+}
+
+// leakOnEarlyReturn closes on only one of two paths.
+func leakOnEarlyReturn(ft *trace.FrameTrace, now time.Duration, cond bool) int {
+	sp := ft.StartSpan(trace.KSNMInfer, "gpu0", now) // want `not ended on every path`
+	if cond {
+		return 0
+	}
+	sp.End(now)
+	return 1
+}
+
+// leakOneBranch ends in the then-arm only.
+func leakOneBranch(ft *trace.FrameTrace, now time.Duration, cond bool) {
+	sp := ft.StartSpan(trace.KRef, "gpu1", now) // want `not ended on every path`
+	if cond {
+		sp.End(now)
+	}
+}
+
+// leakDiscarded drops the handle on the floor: nothing can ever close it.
+func leakDiscarded(ft *trace.FrameTrace, now time.Duration) {
+	ft.StartSpan(trace.KSDD, "cpu", now) // want `not ended on every path`
+}
+
+// endBothArms is clean: a verdict branch ends the span either way.
+func endBothArms(ft *trace.FrameTrace, now time.Duration, dropped bool) {
+	sp := ft.StartSpan(trace.KTYoloInfer, "gpu0", now)
+	if dropped {
+		sp.EndDrop(now)
+	} else {
+		sp.End(now)
+	}
+}
+
+// deferred is clean: the defer covers every later return.
+func deferred(ft *trace.FrameTrace, clk func() time.Duration, cond bool) int {
+	sp := ft.StartSpan(trace.KSDD, "cpu", clk())
+	defer sp.End(clk())
+	if cond {
+		return 0
+	}
+	return 1
+}
+
+// escapes is clean: the handle is the function's return value — the
+// caller owns closing it now.
+func escapes(ft *trace.FrameTrace, now time.Duration) trace.SpanHandle {
+	return ft.StartSpan(trace.KRef, "gpu1", now)
+}
+
+// forwarded is clean: the handle moves into a closure that closes it.
+func forwarded(ft *trace.FrameTrace, now time.Duration) func() {
+	sp := ft.StartSpan(trace.KSDD, "cpu", now)
+	return func() { sp.End(now) }
+}
+
+// suppressed documents an accepted unclosed span.
+func suppressed(ft *trace.FrameTrace, now time.Duration) {
+	sp := ft.StartSpan(trace.KSDD, "cpu", now) //lint:allow spanend fixture demonstrates a reasoned suppression
+	use(sp)
+}

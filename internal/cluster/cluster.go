@@ -18,6 +18,7 @@ import (
 	"ffsva/internal/faults"
 	"ffsva/internal/imgproc"
 	"ffsva/internal/pipeline"
+	"ffsva/internal/trace"
 	"ffsva/internal/vclock"
 )
 
@@ -59,6 +60,18 @@ type Config struct {
 	// faults bind to Fault.Instance, and InstanceCrash faults are
 	// scheduled as clock processes killing whole instances.
 	Faults []faults.Fault
+
+	// Tracer, when non-nil, records every instance's frames into one
+	// shared per-frame trace. Each instance's spans carry its index, so
+	// a re-forwarded stream's frames appear under both instances'
+	// process tracks; manager actions (admit, re-forward, fail,
+	// recover) become instant events on the affected instance.
+	Tracer *trace.Tracer
+	// OnSnapshot, when non-nil, receives every instance snapshot the
+	// manager observes, tagged with the instance index — the live
+	// observability endpoint feeds from it. It runs on the manager's
+	// clock process, so it must be fast and must not block.
+	OnSnapshot func(instance int, sn pipeline.Snapshot)
 }
 
 // DefaultConfig returns cluster defaults per the paper's signals.
@@ -174,6 +187,8 @@ func New(cfg Config, arrivals []Arrival) *Cluster {
 		pc.Clock = cfg.Clock
 		pc.Mode = pipeline.Online
 		pc.HeartbeatEvery = cfg.HeartbeatEvery
+		pc.Tracer = cfg.Tracer
+		pc.Instance = i
 		inj := faults.NewInjector(faults.ForInstance(cfg.Faults, i))
 		if len(cfg.Faults) > 0 {
 			pc.AdjustService = inj.AdjustServiceTime
@@ -255,7 +270,36 @@ func (c *Cluster) observe() []pipeline.Snapshot {
 	for i, inst := range c.instances {
 		snaps[i] = inst.Snapshot()
 	}
+	if c.cfg.OnSnapshot != nil {
+		for i, sn := range snaps {
+			c.cfg.OnSnapshot(i, sn)
+		}
+	}
 	return snaps
+}
+
+// record appends a manager event and mirrors it into the trace as an
+// instant event — on the destination instance's track for admissions,
+// on the source's for everything else (that is where the disruption
+// happened).
+func (c *Cluster) record(e Event) {
+	c.events = append(c.events, e)
+	tr := c.cfg.Tracer
+	if tr == nil {
+		return
+	}
+	inst, name := e.From, ""
+	switch e.Kind {
+	case EventAdmit:
+		inst, name = e.To, fmt.Sprintf("admit stream %d", e.StreamID)
+	case EventReforward:
+		name = fmt.Sprintf("reforward stream %d -> %d", e.StreamID, e.To)
+	case EventFail:
+		name = fmt.Sprintf("instance %d failed", e.From)
+	case EventRecover:
+		name = fmt.Sprintf("recover stream %d -> %d", e.StreamID, e.To)
+	}
+	tr.Instant(name, "cluster", inst, e.At)
 }
 
 // pick selects the admission target: spare live instances first (by the
@@ -332,7 +376,7 @@ func (c *Cluster) manage() {
 			c.loc[a.ID] = idx
 			c.specs[a.ID] = spec
 			c.counts[idx]++
-			c.events = append(c.events, Event{Kind: EventAdmit, At: clk.Now(), StreamID: a.ID, From: -1, To: idx})
+			c.record(Event{Kind: EventAdmit, At: clk.Now(), StreamID: a.ID, From: -1, To: idx})
 			next++
 			// A burst must not share one stale view: the admission just
 			// made shifts the load signals, so re-observe before placing
@@ -416,7 +460,7 @@ func (c *Cluster) pickLive(skip int) int {
 func (c *Cluster) fail(i int) {
 	c.failed[i] = true
 	c.over[i] = 0
-	c.events = append(c.events, Event{Kind: EventFail, At: c.cfg.Clock.Now(), StreamID: -1, From: i, To: -1})
+	c.record(Event{Kind: EventFail, At: c.cfg.Clock.Now(), StreamID: -1, From: i, To: -1})
 	var ids []int
 	for id, inst := range c.loc {
 		if inst == i {
@@ -529,7 +573,7 @@ func (c *Cluster) continueStream(victim, from, to int, kind EventKind) bool {
 	c.loc[victim] = to
 	c.specs[victim] = cont
 	c.counts[to]++
-	c.events = append(c.events, Event{Kind: kind, At: c.cfg.Clock.Now(), StreamID: victim, From: from, To: to})
+	c.record(Event{Kind: kind, At: c.cfg.Clock.Now(), StreamID: victim, From: from, To: to})
 	return true
 }
 

@@ -100,6 +100,8 @@ func RunClusterContext(ctx context.Context, cfg ClusterConfig) (*cluster.Report,
 	ccfg.Pipeline.ChargeCosts = cfg.ChargeCosts
 	ccfg.Pipeline.ShedAfter = cfg.ShedAfter
 	ccfg.Faults = cfg.Faults
+	ccfg.Tracer = cfg.Trace
+	ccfg.OnSnapshot = cfg.OnSnapshot
 
 	// The manager must outlive the last arrival plus a full stream
 	// duration (30 FPS pacing), with slack for backlog drain.

@@ -17,6 +17,7 @@ import (
 	"ffsva/internal/frame"
 	"ffsva/internal/lab"
 	"ffsva/internal/pipeline"
+	"ffsva/internal/trace"
 	"ffsva/internal/vclock"
 )
 
@@ -63,10 +64,24 @@ type Config struct {
 	// MetricsEvery, when positive, attaches the pipeline's periodic
 	// observability monitor: every interval a Snapshot is written to
 	// MetricsOut (text by default, one JSON line per sample with
-	// MetricsJSON). Ignored when MetricsOut is nil.
+	// MetricsJSON) and handed to OnSnapshot. Ignored when both sinks
+	// are nil.
 	MetricsEvery time.Duration
 	MetricsJSON  bool
 	MetricsOut   io.Writer
+	// OnSnapshot, when non-nil, receives each monitor snapshot tagged
+	// with its instance index (always 0 in a single-instance run; the
+	// observing cluster manager's index otherwise). It runs on a clock
+	// process, so it must be fast and must not block.
+	OnSnapshot func(instance int, sn pipeline.Snapshot)
+
+	// Trace, when non-nil, records a span tree for every frame's journey
+	// through the cascade (decode, queue waits, SDD, SNM batch assembly
+	// and inference, shared T-YOLO, reference model). The caller owns
+	// the tracer and exports it after the run (Perfetto JSON, JSONL, or
+	// the /tracez endpoint). Nil — the default — disables tracing: the
+	// hot path then pays one pointer check per stage.
+	Trace *trace.Tracer
 
 	// Faults is the fault-injection plan (see faults.Parse for the spec
 	// syntax). In a single-instance run every fault applies to instance 0;
@@ -160,6 +175,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	pcfg.ChargeCosts = cfg.ChargeCosts
 	pcfg.ShedAfter = cfg.ShedAfter
+	pcfg.Tracer = cfg.Trace
 
 	// A single-instance run treats every planned fault as instance 0's.
 	var inj *faults.Injector
@@ -190,13 +206,18 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			sys.Crash()
 		})
 	}
-	if cfg.MetricsEvery > 0 && cfg.MetricsOut != nil {
-		out, asJSON := cfg.MetricsOut, cfg.MetricsJSON
+	if cfg.MetricsEvery > 0 && (cfg.MetricsOut != nil || cfg.OnSnapshot != nil) {
+		out, asJSON, onSnap := cfg.MetricsOut, cfg.MetricsJSON, cfg.OnSnapshot
 		sys.Monitor(cfg.MetricsEvery, func(sn pipeline.Snapshot) {
-			if asJSON {
-				fmt.Fprintln(out, sn.JSON())
-			} else {
-				fmt.Fprintln(out, sn)
+			if out != nil {
+				if asJSON {
+					fmt.Fprintln(out, sn.JSON())
+				} else {
+					fmt.Fprintln(out, sn)
+				}
+			}
+			if onSnap != nil {
+				onSnap(0, sn)
 			}
 		})
 	}

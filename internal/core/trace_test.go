@@ -1,0 +1,85 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"ffsva/internal/faults"
+	"ffsva/internal/trace"
+)
+
+// tracedRun executes one seeded offline run with tracing on and returns
+// the exported trace-event JSON.
+func tracedRun(t *testing.T) []byte {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.FramesPerStream = 300
+	cfg.Streams = 2
+	for _, spec := range []string{
+		"decode:stream=0,seq=50-60",
+		"slow:dev=gpu0,from=1s,until=3s,x=2",
+	} {
+		f, err := faults.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Faults = append(cfg.Faults, f)
+	}
+	tr := trace.New(trace.Options{})
+	cfg.Trace = tr
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if tr.FinishedFrames() == 0 {
+		t.Fatal("traced run finished zero frames")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteTraceEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceDeterminism proves the whole tracing path is a pure function
+// of the seed under the virtual clock: two identical runs — fault plan
+// included — must export byte-identical trace files.
+func TestTraceDeterminism(t *testing.T) {
+	a := tracedRun(t)
+	b := tracedRun(t)
+	if err := trace.Validate(a); err != nil {
+		t.Fatalf("export invalid: %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed runs exported different traces (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// TestTraceConservation cross-checks the tracer against the pipeline's
+// own frame accounting: every ingested frame must finish tracing
+// exactly once.
+func TestTraceConservation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FramesPerStream = 200
+	tr := trace.New(trace.Options{})
+	cfg.Trace = tr
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tr.FinishedFrames(), res.Pipeline.TotalFrames; got != want {
+		t.Fatalf("tracer finished %d frames, pipeline decided %d", got, want)
+	}
+	// The decomposition must show both wait and service time: the report
+	// table the tracer feeds is empty otherwise.
+	var sawWait, sawService bool
+	for _, st := range tr.Decomposition(-1) {
+		if st.Wait {
+			sawWait = true
+		} else {
+			sawService = true
+		}
+	}
+	if !sawWait || !sawService {
+		t.Fatalf("decomposition lacks wait or service rows: %+v", tr.Decomposition(-1))
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"ffsva/internal/trace"
 )
 
 // Class identifies the kind of object a detector can report. The synthetic
@@ -119,6 +121,10 @@ type Frame struct {
 	// injection): the pipeline rejects it before filtering rather than
 	// feeding garbage to the cascade.
 	Corrupt bool
+	// Trace is the frame's span record when tracing is on; nil (the
+	// common case) costs each instrumented stage one pointer check. The
+	// pipeline's terminal point hands it back to the tracer.
+	Trace *trace.FrameTrace
 	// pooled marks Pix as borrowed from the frame-buffer pool; Release
 	// returns it there.
 	pooled bool
@@ -177,6 +183,7 @@ func (f *Frame) Set(x, y int, v uint8) { f.Pix[y*f.W+x] = v }
 func (f *Frame) Clone() *Frame {
 	g := *f
 	g.pooled = false // the clone owns a private buffer
+	g.Trace = nil    // the span record stays with the original's journey
 	g.Pix = make([]uint8, len(f.Pix))
 	copy(g.Pix, f.Pix)
 	if f.Truth != nil {

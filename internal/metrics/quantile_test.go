@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHistogramQuantilePinned pins p50/p99 on a known bimodal
+// distribution: 50 observations at 1ms and 50 at 10ms. With in-bucket
+// interpolation p50 must stay in the 1ms bucket (at most its upper
+// bound, ~1.08ms) and p99 must land just under the 10ms maximum — not
+// snap to a whole bucket bound a decade away.
+func TestHistogramQuantilePinned(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 50; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 50; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	if p50 := h.Quantile(0.50); p50 < 800*time.Microsecond || p50 > 1300*time.Microsecond {
+		t.Fatalf("p50 = %v, want within the 1ms bucket (~0.87ms, ~1.08ms]", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 9*time.Millisecond || p99 > 10*time.Millisecond {
+		t.Fatalf("p99 = %v, want interpolated just under the 10ms max", p99)
+	}
+	if got, max := h.Quantile(1), h.Max(); got != max {
+		t.Fatalf("p100 = %v, want the maximum %v", got, max)
+	}
+}
+
+// TestHistogramQuantileInterpolates proves quantiles move through a
+// single bucket's mass instead of collapsing to one bound (the bug the
+// interpolating Quantile replaced): with every observation equal, lower
+// and upper quantiles must still differ, bounded by the true value's
+// bucket.
+func TestHistogramQuantileInterpolates(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Observe(5 * time.Millisecond)
+	}
+	q10, q90 := h.Quantile(0.10), h.Quantile(0.90)
+	if q10 >= q90 {
+		t.Fatalf("q10 = %v >= q90 = %v; expected in-bucket interpolation", q10, q90)
+	}
+	if q90 > h.Max() {
+		t.Fatalf("q90 = %v exceeds max %v; interpolation must clamp at the observed max", q90, h.Max())
+	}
+	if q10 < 4*time.Millisecond {
+		t.Fatalf("q10 = %v left the 5ms bucket", q10)
+	}
+}
+
+// TestHistogramSum pins Sum against a hand-computed total.
+func TestHistogramSum(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(3 * time.Millisecond)
+	if got := h.Sum(); got != 6*time.Millisecond {
+		t.Fatalf("sum = %v, want 6ms", got)
+	}
+}

@@ -1,0 +1,256 @@
+// Package obs is the live observability endpoint: a small net/http
+// server exposing the pipeline's state while a run is in progress —
+// Prometheus-text /metrics from the PR-1 registry export, /snapshot
+// JSON, /healthz wired to the heartbeat liveness process, and /tracez
+// rendering the tracer's retained per-frame spans.
+//
+// The server sits outside the simulation: it never reads pipeline state
+// directly (that would race the virtual clock's cooperative scheduler);
+// instead the run's monitor process pushes immutable Snapshot values in,
+// and handlers serve the latest push. Health staleness is judged by
+// comparing clock values inside one snapshot (heartbeat vs At), so the
+// endpoint works identically under virtual and real time. The only wall
+// clock involved is net/http's own Date response header.
+//
+// Security: an address with no host (":8080") binds loopback only; an
+// operator must name an interface explicitly to expose the endpoint.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ffsva/internal/metrics"
+	"ffsva/internal/pipeline"
+	"ffsva/internal/trace"
+)
+
+// Server is the observability HTTP server. Create with NewServer, feed
+// with Push, and Start/Close around the run.
+type Server struct {
+	addr string
+	tr   *trace.Tracer
+
+	mu    sync.Mutex
+	snaps map[int]pipeline.Snapshot
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer prepares a server for addr; tr may be nil (tracez then
+// reports tracing disabled). Nothing listens until Start.
+func NewServer(addr string, tr *trace.Tracer) *Server {
+	return &Server{addr: addr, tr: tr, snaps: map[int]pipeline.Snapshot{}}
+}
+
+// Push stores an instance's latest snapshot; handlers serve it until
+// the next push. Safe to call from any goroutine or clock process.
+func (s *Server) Push(instance int, sn pipeline.Snapshot) {
+	s.mu.Lock()
+	s.snaps[instance] = sn
+	s.mu.Unlock()
+}
+
+// Start binds the listener and serves in the background. A host-less
+// address like ":8080" binds 127.0.0.1 — exposing the endpoint beyond
+// the local machine takes an explicit interface address.
+func (s *Server) Start() error {
+	addr := s.addr
+	if strings.HasPrefix(addr, ":") {
+		addr = "127.0.0.1" + addr
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/tracez", s.handleTracez)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			// The listener died under us; nothing to do but stop serving.
+			_ = err
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound address (host:port), or "" before Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server and releases the port.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// snapshot returns the stored snapshots keyed by instance, plus the
+// sorted instance ids.
+func (s *Server) snapshot() (map[int]pipeline.Snapshot, []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := make(map[int]pipeline.Snapshot, len(s.snaps))
+	ids := make([]int, 0, len(s.snaps))
+	for id, sn := range s.snaps {
+		m[id] = sn
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return m, ids
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, `<!DOCTYPE html><html><head><title>ffsva</title></head><body>
+<h1>ffsva observability</h1>
+<ul>
+<li><a href="/metrics">/metrics</a> — Prometheus text exposition</li>
+<li><a href="/snapshot">/snapshot</a> — full pipeline snapshot JSON</li>
+<li><a href="/healthz">/healthz</a> — heartbeat-backed liveness</li>
+<li><a href="/tracez">/tracez</a> — recent sampled frame traces</li>
+</ul></body></html>
+`)
+}
+
+// promName rewrites a registry sample name into valid Prometheus
+// exposition syntax. The registry flattens labeled counters to
+// "name{labelvalue}"; Prometheus needs a key, so the value is re-keyed
+// under "label".
+func promName(name string, instance int) string {
+	inst := fmt.Sprintf(`instance="%d"`, instance)
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		base := name[:i]
+		label := strings.TrimSuffix(name[i+1:], "}")
+		return fmt.Sprintf(`ffsva_%s{%s,label=%q}`, base, inst, label)
+	}
+	return fmt.Sprintf("ffsva_%s{%s}", name, inst)
+}
+
+// promBase returns the metric family name of a sample.
+func promBase(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snaps, ids := s.snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	typed := map[string]bool{}
+	typeLine := func(sample metrics.Sample) {
+		base := "ffsva_" + promBase(sample.Name)
+		if typed[base] {
+			return
+		}
+		typed[base] = true
+		kind := "gauge"
+		if sample.Kind == "counter" {
+			kind = "counter"
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+	}
+	for _, id := range ids {
+		sn := snaps[id]
+		for _, sample := range sn.Metrics {
+			typeLine(sample)
+			fmt.Fprintf(w, "%s %g\n", promName(sample.Name, id), sample.Value)
+		}
+		inst := fmt.Sprintf(`{instance="%d"}`, id)
+		fmt.Fprintf(w, "ffsva_in_flight%s %d\n", inst, sn.InFlight)
+		fmt.Fprintf(w, "ffsva_live_streams%s %d\n", inst, sn.LiveStreams)
+		fmt.Fprintf(w, "ffsva_worst_backlog%s %d\n", inst, sn.WorstBacklog)
+		fmt.Fprintf(w, "ffsva_worst_lag_seconds%s %g\n", inst, sn.WorstLag.Seconds())
+		overloaded := 0
+		if sn.Overloaded {
+			overloaded = 1
+		}
+		fmt.Fprintf(w, "ffsva_overloaded%s %d\n", inst, overloaded)
+		up := 1
+		if sn.Crashed {
+			up = 0
+		}
+		fmt.Fprintf(w, "ffsva_up%s %d\n", inst, up)
+	}
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	snaps, ids := s.snapshot()
+	out := make(map[string]pipeline.Snapshot, len(snaps))
+	for _, id := range ids {
+		out[fmt.Sprintf("%d", id)] = snaps[id]
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleHealthz reports liveness from the pushed snapshots: 503 until
+// the first push, 503 when every instance has crashed, and 503 when a
+// running instance's heartbeat has gone stale (older than three
+// intervals at snapshot time — the same staleness rule the cluster
+// manager's failure detector uses). Both clock values come from inside
+// one snapshot, so the check is wall-clock-free.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	snaps, ids := s.snapshot()
+	if len(ids) == 0 {
+		http.Error(w, "no snapshot yet", http.StatusServiceUnavailable)
+		return
+	}
+	alive := 0
+	var stale []string
+	for _, id := range ids {
+		sn := snaps[id]
+		if sn.Crashed {
+			continue
+		}
+		alive++
+		if sn.HeartbeatEvery > 0 && !sn.Finished && sn.Heartbeat > 0 &&
+			sn.At-sn.Heartbeat > 3*sn.HeartbeatEvery {
+			stale = append(stale, fmt.Sprintf("instance %d: heartbeat %v behind",
+				id, (sn.At-sn.Heartbeat).Round(time.Millisecond)))
+		}
+	}
+	if alive == 0 {
+		http.Error(w, "all instances crashed", http.StatusServiceUnavailable)
+		return
+	}
+	if len(stale) > 0 {
+		http.Error(w, strings.Join(stale, "\n"), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "ok: %d/%d instances alive\n", alive, len(ids))
+}
+
+func (s *Server) handleTracez(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := s.tr.WriteTracez(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

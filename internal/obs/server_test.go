@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"ffsva/internal/metrics"
+	"ffsva/internal/pipeline"
+	"ffsva/internal/trace"
+)
+
+// startServer binds a throwaway server on an ephemeral loopback port.
+func startServer(t *testing.T, tr *trace.Tracer) *Server {
+	t.Helper()
+	s := NewServer("127.0.0.1:0", tr)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// get fetches a path and returns status code and body.
+func get(t *testing.T, s *Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + s.Addr() + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// liveSnapshot builds a healthy running-instance snapshot.
+func liveSnapshot(at time.Duration) pipeline.Snapshot {
+	return pipeline.Snapshot{
+		At:             at,
+		Heartbeat:      at - 10*time.Millisecond,
+		HeartbeatEvery: 100 * time.Millisecond,
+		InFlight:       7,
+		LiveStreams:    2,
+		WorstBacklog:   3,
+		WorstLag:       250 * time.Millisecond,
+		Overloaded:     true,
+		Metrics: []metrics.Sample{
+			{Name: "frames_ingested", Kind: "counter", Value: 42},
+			{Name: "drops{sdd}", Kind: "counter", Value: 5},
+		},
+	}
+}
+
+// TestHealthzTransitions walks /healthz through its states: no push yet
+// (503), a healthy push (200), a stale heartbeat (503), and a crash with
+// no survivors (503).
+func TestHealthzTransitions(t *testing.T) {
+	s := startServer(t, nil)
+
+	if code, body := get(t, s, "/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "no snapshot") {
+		t.Fatalf("before any push: %d %q", code, body)
+	}
+
+	s.Push(0, liveSnapshot(time.Second))
+	if code, body := get(t, s, "/healthz"); code != http.StatusOK || !strings.Contains(body, "ok: 1/1") {
+		t.Fatalf("healthy: %d %q", code, body)
+	}
+
+	stale := liveSnapshot(2 * time.Second)
+	stale.Heartbeat = stale.At - 10*stale.HeartbeatEvery
+	s.Push(0, stale)
+	if code, body := get(t, s, "/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "heartbeat") {
+		t.Fatalf("stale heartbeat: %d %q", code, body)
+	}
+
+	// A finished instance is exempt from staleness (its heartbeat stops).
+	done := stale
+	done.Finished = true
+	s.Push(0, done)
+	if code, _ := get(t, s, "/healthz"); code != http.StatusOK {
+		t.Fatalf("finished instance reported unhealthy: %d", code)
+	}
+
+	crashed := liveSnapshot(3 * time.Second)
+	crashed.Crashed = true
+	s.Push(0, crashed)
+	if code, body := get(t, s, "/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "all instances crashed") {
+		t.Fatalf("all crashed: %d %q", code, body)
+	}
+
+	// A second live instance keeps the cluster healthy past one crash.
+	s.Push(1, liveSnapshot(3*time.Second))
+	if code, body := get(t, s, "/healthz"); code != http.StatusOK || !strings.Contains(body, "ok: 1/2") {
+		t.Fatalf("one of two alive: %d %q", code, body)
+	}
+}
+
+// TestMetricsExposition checks the Prometheus text rendering: registry
+// samples gain the ffsva_ prefix and instance label, flattened labels
+// are re-keyed, TYPE lines appear once per family, and the derived
+// control-signal gauges are present.
+func TestMetricsExposition(t *testing.T) {
+	s := startServer(t, nil)
+	s.Push(0, liveSnapshot(time.Second))
+	code, body := get(t, s, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE ffsva_frames_ingested counter",
+		`ffsva_frames_ingested{instance="0"} 42`,
+		`ffsva_drops{instance="0",label="sdd"} 5`,
+		`ffsva_in_flight{instance="0"} 7`,
+		`ffsva_live_streams{instance="0"} 2`,
+		`ffsva_worst_backlog{instance="0"} 3`,
+		`ffsva_worst_lag_seconds{instance="0"} 0.25`,
+		`ffsva_overloaded{instance="0"} 1`,
+		`ffsva_up{instance="0"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	if strings.Count(body, "# TYPE ffsva_frames_ingested") != 1 {
+		t.Fatalf("duplicate TYPE lines:\n%s", body)
+	}
+}
+
+// TestSnapshotEndpoint checks /snapshot round-trips the pushed data as
+// JSON keyed by instance.
+func TestSnapshotEndpoint(t *testing.T) {
+	s := startServer(t, nil)
+	s.Push(0, liveSnapshot(time.Second))
+	s.Push(1, liveSnapshot(2*time.Second))
+	code, body := get(t, s, "/snapshot")
+	if code != http.StatusOK {
+		t.Fatalf("snapshot status %d", code)
+	}
+	var out map[string]pipeline.Snapshot
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("snapshot not JSON: %v", err)
+	}
+	if len(out) != 2 || out["0"].InFlight != 7 || out["1"].At != 2*time.Second {
+		t.Fatalf("snapshot content wrong: %v", out)
+	}
+}
+
+// TestTracezEndpoint checks /tracez renders retained frames, and
+// degrades gracefully with tracing off.
+func TestTracezEndpoint(t *testing.T) {
+	tr := trace.New(trace.Options{})
+	ft := tr.StartFrame(0, 99, 0, 0)
+	ft.AddSpan(trace.KSDD, 0, time.Millisecond, "cpu", 0)
+	tr.Finish(ft, "detected", false, time.Millisecond)
+	s := startServer(t, tr)
+	code, body := get(t, s, "/tracez")
+	if code != http.StatusOK || !strings.Contains(body, "detected") || !strings.Contains(body, "sdd@cpu") {
+		t.Fatalf("tracez: %d %q", code, body)
+	}
+
+	off := startServer(t, nil)
+	if code, body := get(t, off, "/tracez"); code != http.StatusOK || !strings.Contains(body, "tracing disabled") {
+		t.Fatalf("tracez disabled: %d %q", code, body)
+	}
+}
+
+// TestIndexAndNotFound checks the landing page and 404 behaviour.
+func TestIndexAndNotFound(t *testing.T) {
+	s := startServer(t, nil)
+	if code, body := get(t, s, "/"); code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: %d %q", code, body)
+	}
+	if code, _ := get(t, s, "/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown path status %d", code)
+	}
+}

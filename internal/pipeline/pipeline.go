@@ -23,6 +23,7 @@ import (
 	"ffsva/internal/metrics"
 	"ffsva/internal/queue"
 	"ffsva/internal/spill"
+	"ffsva/internal/trace"
 	"ffsva/internal/vclock"
 )
 
@@ -256,6 +257,16 @@ type Config struct {
 	// stamp going stale. Zero (the default) runs no heartbeat.
 	HeartbeatEvery time.Duration
 
+	// Tracer, when set, records a per-frame span trace (queue waits,
+	// batch assembly, per-device service; see internal/trace). Nil — the
+	// default — keeps the hot path span-free: frames carry a nil trace
+	// record and every instrumentation point is one pointer check.
+	Tracer *trace.Tracer
+	// Instance tags this pipeline's spans and instants with its cluster
+	// instance id (0 for single-instance runs), so one Tracer can hold a
+	// whole cluster's timeline.
+	Instance int
+
 	// Ablation switches (not part of the paper's system; used by the
 	// ablation benches to quantify each design choice).
 
@@ -467,11 +478,13 @@ func New(cfg Config, specs []StreamSpec) *System {
 				nd := cfg.AdjustService(d.Name, now, dur)
 				if nd != dur {
 					s.faultCtr.Inc()
+					cfg.Tracer.Instant("fault "+d.Name, "fault", cfg.Instance, now)
 				}
 				return nd
 			})
 		}
 	}
+	s.traceHooks(s.refQ, trace.KWaitRef)
 	for _, spec := range specs {
 		s.streams = append(s.streams, s.newStream(spec))
 	}
@@ -501,7 +514,7 @@ func (s *System) newStream(spec StreamSpec) *streamState {
 	if cfg.SpillToStorage && cfg.Mode == Online {
 		store = spill.New(cfg.Clock, s.disk, cfg.ChargeCosts)
 	}
-	return &streamState{
+	st := &streamState{
 		spec:    spec,
 		spill:   store,
 		sddQ:    queue.New[*frame.Frame](cfg.Clock, fmt.Sprintf("sdd[%d]", spec.ID), sddDepth),
@@ -509,6 +522,36 @@ func (s *System) newStream(spec StreamSpec) *streamState {
 		tyQ:     queue.New[*frame.Frame](cfg.Clock, fmt.Sprintf("ty[%d]", spec.ID), cfg.DepthTYolo),
 		records: make([]Record, spec.Frames),
 	}
+	s.traceHooks(st.sddQ, trace.KWaitSDD)
+	s.traceHooks(st.snmQ, trace.KWaitSNM)
+	s.traceHooks(st.tyQ, trace.KWaitTYolo)
+	return st
+}
+
+// traceHooks turns a queue's put→pop interval into a queue-wait span on
+// the resident frame and its feedback throttling into instant events.
+// The hooks run under the queue lock, which is also what hands frame
+// (and trace-record) ownership from producer to consumer — so the span
+// writes are ordered without any locking of their own. No-op when
+// tracing is off.
+func (s *System) traceHooks(q *queue.Queue[*frame.Frame], k trace.Kind) {
+	tr := s.cfg.Tracer
+	if tr == nil {
+		return
+	}
+	instance := s.cfg.Instance
+	throttle := "throttle " + q.Name()
+	q.SetHooks(queue.Hooks[*frame.Frame]{
+		OnPut: func(f *frame.Frame, now time.Duration) {
+			f.Trace.BeginWait(k, now)
+		},
+		OnPop: func(f *frame.Frame, now time.Duration) {
+			f.Trace.EndWait(now)
+		},
+		OnBlocked: func(now time.Duration) {
+			tr.Instant(throttle, "feedback", instance, now)
+		},
+	})
 }
 
 // notify is a clock-integrated counting signal used to wake the shared

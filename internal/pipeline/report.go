@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ffsva/internal/filters"
+	"ffsva/internal/trace"
 )
 
 // StreamReport is the per-stream outcome summary.
@@ -51,6 +52,11 @@ type Report struct {
 
 	// Latency of frame decisions (capture → final verdict).
 	LatencyMean, LatencyP50, LatencyP95, LatencyP99, LatencyMax time.Duration
+
+	// Spans is the wait-vs-service latency decomposition derived from
+	// the per-frame trace spans (one row per stage a frame visited, in
+	// cascade order); nil when Config.Tracer is unset.
+	Spans []trace.StageStat
 
 	// StageProcessed counts frames entering each stage (prefetch, SDD,
 	// SNM, T-YOLO, reference), i.e. the data behind Fig. 5's
@@ -167,6 +173,7 @@ func (s *System) Report() *Report {
 	r.LatencyP95 = s.latency.Quantile(0.95)
 	r.LatencyP99 = s.latency.Quantile(0.99)
 	r.LatencyMax = s.latency.Max()
+	r.Spans = s.cfg.Tracer.Decomposition(s.cfg.Instance)
 
 	r.Realtime = s.cfg.Mode == Online
 	for _, sr := range r.Streams {
@@ -208,6 +215,30 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "  latency mean=%v p50=%v p95=%v p99=%v max=%v\n",
 		r.LatencyMean.Round(time.Microsecond), r.LatencyP50.Round(time.Microsecond),
 		r.LatencyP95.Round(time.Microsecond), r.LatencyP99.Round(time.Microsecond), r.LatencyMax.Round(time.Microsecond))
+	if len(r.Spans) > 0 {
+		var wait, service time.Duration
+		for _, ss := range r.Spans {
+			if ss.Wait {
+				wait += ss.Total
+			} else {
+				service += ss.Total
+			}
+		}
+		fmt.Fprintf(&b, "  span decomposition: wait=%v service=%v\n",
+			wait.Round(time.Millisecond), service.Round(time.Millisecond))
+		fmt.Fprintf(&b, "    %-13s %-8s %8s %12s %12s %12s %14s\n",
+			"stage", "class", "frames", "mean", "p50", "p99", "total")
+		for _, ss := range r.Spans {
+			class := "service"
+			if ss.Wait {
+				class = "wait"
+			}
+			fmt.Fprintf(&b, "    %-13s %-8s %8d %12v %12v %12v %14v\n",
+				ss.Kind, class, ss.Count,
+				ss.Mean.Round(time.Microsecond), ss.P50.Round(time.Microsecond),
+				ss.P99.Round(time.Microsecond), ss.Total.Round(time.Microsecond))
+		}
+	}
 	fmt.Fprintf(&b, "  stage frames: ingest=%d sdd=%d snm=%d t-yolo=%d ref=%d\n",
 		r.StageProcessed[0], r.StageProcessed[1], r.StageProcessed[2], r.StageProcessed[3], r.StageProcessed[4])
 	fmt.Fprintf(&b, "  devices: cpu=%.1f%% gpu0=%.1f%% (switches=%d) gpu1=%.1f%%",

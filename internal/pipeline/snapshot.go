@@ -88,6 +88,13 @@ type Snapshot struct {
 	// Crashed marks a dead instance (fault injection): its heartbeat is
 	// frozen and in-flight frames drain to DropError.
 	Crashed bool `json:"crashed,omitempty"`
+	// Heartbeat is the instance's last liveness stamp (zero until the
+	// heartbeat process first runs). The /healthz endpoint compares it
+	// against At to detect a stalled instance.
+	Heartbeat time.Duration `json:"heartbeat,omitempty"`
+	// HeartbeatEvery echoes the configured heartbeat interval so health
+	// checks know what staleness to tolerate (zero: no heartbeat runs).
+	HeartbeatEvery time.Duration `json:"heartbeat_every,omitempty"`
 
 	// Totals across streams.
 	Ingested int64                  `json:"ingested"`
@@ -126,11 +133,13 @@ type Snapshot struct {
 func (s *System) Snapshot() Snapshot {
 	now := s.cfg.Clock.Now()
 	sn := Snapshot{
-		At:          now,
-		Mode:        s.cfg.Mode.String(),
-		BatchPolicy: s.cfg.BatchPolicy.String(),
-		Finished:    s.Finished(),
-		Crashed:     s.Crashed(),
+		At:             now,
+		Mode:           s.cfg.Mode.String(),
+		BatchPolicy:    s.cfg.BatchPolicy.String(),
+		Finished:       s.Finished(),
+		Crashed:        s.Crashed(),
+		Heartbeat:      s.Heartbeat(),
+		HeartbeatEvery: s.cfg.HeartbeatEvery,
 	}
 	s.liveMu.Lock()
 	elapsed := now - s.start

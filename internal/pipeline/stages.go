@@ -8,6 +8,7 @@ import (
 	"ffsva/internal/device"
 	"ffsva/internal/filters"
 	"ffsva/internal/frame"
+	"ffsva/internal/trace"
 )
 
 // Start launches every stage process on the configured clock. The caller
@@ -250,6 +251,7 @@ func (s *System) prefetch(st *streamState) {
 		}
 		// Decode, retrying transient failures within the budget. Every
 		// attempt — failed or successful — pays the decode service time.
+		decStart := clk.Now()
 		lost := false
 		if fallible {
 			for tries := 0; fsrc.DecodeFails(); {
@@ -295,6 +297,11 @@ func (s *System) prefetch(st *streamState) {
 		f := st.spec.Source.Next()
 		f.StreamID = st.spec.ID
 		f.Captured = clk.Now()
+		if tr := s.cfg.Tracer; tr != nil {
+			ft := tr.StartFrame(st.spec.ID, f.Seq, s.cfg.Instance, decStart)
+			ft.AddSpan(trace.KDecode, decStart, f.Captured, "cpu", 0)
+			f.Trace = ft
+		}
 		if i == 0 {
 			st.firstCap = f.Captured
 		}
@@ -306,6 +313,7 @@ func (s *System) prefetch(st *streamState) {
 			// Spill keeps ingest non-blocking: while spilled frames are
 			// owed, new ones must also spill to preserve order.
 			if st.spill.Pending() > 0 || !st.sddQ.TryPut(f) {
+				f.Trace.BeginWait(trace.KWaitSpill, clk.Now())
 				st.spill.Write(f)
 			}
 		} else if s.cfg.Mode == Online && s.cfg.ShedAfter > 0 && late > s.cfg.ShedAfter {
@@ -347,6 +355,7 @@ func (s *System) prefetch(st *streamState) {
 
 // sddStage runs the stream's difference detector on the CPU.
 func (s *System) sddStage(st *streamState) {
+	clk := s.cfg.Clock
 	for {
 		f, ok := st.sddQ.Get()
 		if !ok {
@@ -360,6 +369,7 @@ func (s *System) sddStage(st *streamState) {
 		if f.Corrupt {
 			// Damaged payload: reject before feeding the cascade garbage.
 			s.faultCtr.Inc()
+			s.cfg.Tracer.Instant("fault corrupt-frame", "fault", s.cfg.Instance, clk.Now())
 			s.finish(st, f, DropError, -1)
 			continue
 		}
@@ -369,14 +379,19 @@ func (s *System) sddStage(st *streamState) {
 			}
 			continue
 		}
+		sp := f.Trace.StartSpan(trace.KSDD, "cpu", clk.Now())
 		if s.cfg.ChargeCosts {
 			s.cpu.UseResize(device.ModelSDD, 1, s.cfg.Costs)
 			s.cpu.Use(device.ModelSDD, 1, s.cfg.Costs)
 		}
 		if st.spec.SDD.Process(f) == filters.Drop {
+			sp.EndDrop(clk.Now())
 			s.finish(st, f, DropSDD, -1)
-		} else if !st.snmQ.Put(f) {
-			s.finish(st, f, DropClosed, -1)
+		} else {
+			sp.End(clk.Now())
+			if !st.snmQ.Put(f) {
+				s.finish(st, f, DropClosed, -1)
+			}
 		}
 	}
 	st.snmQ.Close()
@@ -385,6 +400,7 @@ func (s *System) sddStage(st *streamState) {
 // snmStage runs the stream's specialized network on GPU-0 in batches
 // formed according to the batch policy.
 func (s *System) snmStage(st *streamState) {
+	clk := s.cfg.Clock
 	for {
 		var batch []*frame.Frame
 		switch s.cfg.BatchPolicy {
@@ -413,8 +429,15 @@ func (s *System) snmStage(st *streamState) {
 			}
 			continue
 		}
+		// Batch assembly (CPU resize of all members) and batched GPU
+		// inference are timed separately so the trace splits
+		// "stalled on batchmates" from "being computed".
+		t0 := clk.Now()
 		if s.cfg.ChargeCosts {
 			s.cpu.UseResize(device.ModelSNM, len(batch), s.cfg.Costs)
+		}
+		t1 := clk.Now()
+		if s.cfg.ChargeCosts {
 			s.snmGPU(st).Use(device.ModelSNM, len(batch), s.cfg.Costs)
 		}
 		// One multi-sample forward for the whole batch: the network
@@ -422,7 +445,11 @@ func (s *System) snmStage(st *streamState) {
 		// verdicts match per-frame Process calls exactly while paying
 		// the im2col and dispatch overhead once.
 		verdicts := st.spec.SNM.ProcessBatch(batch)
+		t2 := clk.Now()
+		gpuName := s.snmGPU(st).Name
 		for i, f := range batch {
+			f.Trace.AddSpan(trace.KSNMAssemble, t0, t1, "cpu", len(batch))
+			f.Trace.AddSpan(trace.KSNMInfer, t1, t2, gpuName, len(batch))
 			if verdicts[i] == filters.Pass {
 				// Blocks at the T-YOLO depth threshold: feedback.
 				if st.tyQ.Put(f) {
@@ -431,6 +458,7 @@ func (s *System) snmStage(st *streamState) {
 					s.finish(st, f, DropClosed, -1)
 				}
 			} else {
+				f.Trace.MarkDrop()
 				s.finish(st, f, DropSNM, -1)
 			}
 		}
@@ -506,6 +534,7 @@ func (s *System) tyWorker(w int) {
 				}
 				continue
 			}
+			t0 := clk.Now()
 			if s.cfg.ChargeCosts {
 				s.cpu.UseResize(device.ModelTYolo, len(batch), s.cfg.Costs)
 				tyGPU := s.filterGPUs[w]
@@ -517,12 +546,21 @@ func (s *System) tyWorker(w int) {
 				}
 				tyGPU.Use(device.ModelTYolo, len(batch), s.cfg.Costs)
 			}
+			gpuName := s.filterGPUs[w].Name
+			// Consecutive spans over the batch: the first member absorbs
+			// the batched device charge, the rest their own Process time.
+			prev := t0
 			for _, f := range batch {
-				if st.spec.TYolo.Process(f) == filters.Pass {
+				verdict := st.spec.TYolo.Process(f)
+				now := clk.Now()
+				f.Trace.AddSpan(trace.KTYoloInfer, prev, now, gpuName, len(batch))
+				prev = now
+				if verdict == filters.Pass {
 					if !s.refQ.Put(f) {
 						s.finish(st, f, DropClosed, -1)
 					}
 				} else {
+					f.Trace.MarkDrop()
 					s.finish(st, f, DropTYolo, -1)
 				}
 			}
@@ -534,6 +572,7 @@ func (s *System) tyWorker(w int) {
 
 // refStage is the reference model on its dedicated GPU-1.
 func (s *System) refStage() {
+	clk := s.cfg.Clock
 	for {
 		f, ok := s.refQ.Get()
 		if !ok {
@@ -547,6 +586,7 @@ func (s *System) refStage() {
 			}
 			continue
 		}
+		sp := f.Trace.StartSpan(trace.KRef, s.gpu1.Name, clk.Now())
 		if s.cfg.ChargeCosts {
 			s.gpu1.Use(device.ModelRef, 1, s.cfg.Costs)
 		}
@@ -554,10 +594,12 @@ func (s *System) refStage() {
 		if st == nil {
 			// A frame whose stream is unknown cannot be recorded; count it
 			// so Report's conservation check can explain the hole.
+			sp.EndDrop(clk.Now())
 			s.orphanCtr.Inc()
 			continue
 		}
 		dets := s.cfg.Ref.Detect(f)
+		sp.End(clk.Now())
 		count := detect.Count(dets, st.spec.Target, 0.5)
 		s.refServed.Inc()
 		s.finish(st, f, Detected, count)
@@ -598,6 +640,12 @@ func (s *System) finish(st *streamState, f *frame.Frame, d Disposition, refCount
 	}
 	s.latency.Observe(rec.Decided - rec.Captured)
 	s.dispCtr.With(d.String()).Inc()
+	if ft := f.Trace; ft != nil {
+		// finish is also the trace record's terminal point: detach it
+		// before the frame is released so retention owns it exclusively.
+		f.Trace = nil
+		s.cfg.Tracer.Finish(ft, d.String(), d == DropError, rec.Decided)
+	}
 	s.recMu.Lock()
 	if idx := f.Seq - st.spec.SeqBase; idx >= 0 && idx < int64(len(st.records)) {
 		st.records[idx] = rec

@@ -1,0 +1,109 @@
+package queue
+
+import (
+	"testing"
+	"time"
+
+	"ffsva/internal/vclock"
+)
+
+// TestHooksObserveResidency proves OnPut/OnPop fire once per element
+// with the queue clock's reading, in handoff order: every element's put
+// stamp precedes (or equals, under the virtual clock) its pop stamp, and
+// counts match exactly.
+func TestHooksObserveResidency(t *testing.T) {
+	clk := vclock.NewVirtual()
+	q := New[int](clk, "q", 2)
+	type stamp struct {
+		v  int
+		at time.Duration
+	}
+	var puts, pops []stamp
+	q.SetHooks(Hooks[int]{
+		OnPut: func(v int, now time.Duration) { puts = append(puts, stamp{v, now}) },
+		OnPop: func(v int, now time.Duration) { pops = append(pops, stamp{v, now}) },
+	})
+	clk.Go("producer", func() {
+		for i := 0; i < 10; i++ {
+			q.Put(i)
+			clk.Sleep(time.Millisecond)
+		}
+		q.Close()
+	})
+	clk.Go("consumer", func() {
+		for {
+			if _, ok := q.Get(); !ok {
+				return
+			}
+			clk.Sleep(2 * time.Millisecond)
+		}
+	})
+	clk.Run()
+	if len(puts) != 10 || len(pops) != 10 {
+		t.Fatalf("hook counts: %d puts, %d pops, want 10 each", len(puts), len(pops))
+	}
+	for i := range puts {
+		if puts[i].v != i || pops[i].v != i {
+			t.Fatalf("order: put[%d]=%d pop[%d]=%d", i, puts[i].v, i, pops[i].v)
+		}
+		if pops[i].at < puts[i].at {
+			t.Fatalf("element %d popped at %v before its put at %v", i, pops[i].at, puts[i].at)
+		}
+	}
+	// The slower consumer makes later elements wait in the queue.
+	if last := len(puts) - 1; pops[last].at == puts[last].at {
+		t.Fatalf("element %d shows zero residency despite a backlogged consumer", last)
+	}
+}
+
+// TestHooksOnBlocked proves OnBlocked fires exactly once per blocking
+// Put (not per condition-variable wakeup, not for non-blocking puts).
+func TestHooksOnBlocked(t *testing.T) {
+	clk := vclock.NewVirtual()
+	q := New[int](clk, "q", 1)
+	blocked := 0
+	q.SetHooks(Hooks[int]{OnBlocked: func(time.Duration) { blocked++ }})
+	clk.Go("producer", func() {
+		q.Put(1) // space available: must not count
+		q.Put(2) // blocks until the consumer drains
+		q.Close()
+	})
+	clk.Go("consumer", func() {
+		clk.Sleep(time.Millisecond)
+		for {
+			if _, ok := q.Get(); !ok {
+				return
+			}
+			clk.Sleep(time.Millisecond)
+		}
+	})
+	clk.Run()
+	if blocked != 1 {
+		t.Fatalf("OnBlocked fired %d times, want 1", blocked)
+	}
+}
+
+// TestHooksZeroRestoresFastPath proves SetHooks with the zero value
+// uninstalls observation.
+func TestHooksZeroRestoresFastPath(t *testing.T) {
+	clk := vclock.NewVirtual()
+	q := New[int](clk, "q", 4)
+	calls := 0
+	q.SetHooks(Hooks[int]{OnPut: func(int, time.Duration) { calls++ }})
+	q.SetHooks(Hooks[int]{})
+	clk.Go("producer", func() {
+		q.Put(1)
+		q.Close()
+	})
+	clk.Go("consumer", func() {
+		for {
+			if _, ok := q.Get(); !ok {
+				return
+			}
+		}
+	})
+	clk.Run()
+	if calls != 0 {
+		t.Fatalf("hook fired %d times after being cleared", calls)
+	}
+}

@@ -10,6 +10,7 @@ package queue
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"ffsva/internal/vclock"
 )
@@ -33,10 +34,28 @@ type Stats struct {
 	Closed bool
 }
 
+// Hooks observes a queue's item movement with clock timestamps; the
+// tracing layer turns the put→pop interval into queue-wait spans and
+// blocked puts into feedback-throttle instants. Hooks run under the
+// queue lock, so for a given item OnPut strictly precedes OnPop and the
+// pair brackets the item's residency — and the lock also orders the
+// hook's writes to the item against the consumer's reads (ownership
+// handoff). Hooks must be fast and must not touch the queue.
+type Hooks[T any] struct {
+	// OnPut fires after an item is appended (Put or TryPut).
+	OnPut func(x T, now time.Duration)
+	// OnPop fires as an item leaves (Get/TryGet/GetUpTo/GetExact).
+	OnPop func(x T, now time.Duration)
+	// OnBlocked fires once per Put that finds the queue at its depth
+	// threshold — the paper's feedback signal engaging.
+	OnBlocked func(now time.Duration)
+}
+
 // Queue is a bounded FIFO of items with clock-integrated blocking.
 type Queue[T any] struct {
 	name string
 	cap  int
+	clk  vclock.Clock
 
 	mu    sync.Locker
 	avail vclock.Cond // signaled when items are added or queue closes
@@ -45,6 +64,7 @@ type Queue[T any] struct {
 	items  []T
 	closed bool
 	stats  Stats
+	hooks  Hooks[T]
 }
 
 // New creates a queue holding at most capacity items. The capacity is the
@@ -53,10 +73,19 @@ func New[T any](clk vclock.Clock, name string, capacity int) *Queue[T] {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("queue: %s: non-positive capacity", name))
 	}
-	q := &Queue[T]{name: name, cap: capacity, mu: clk.NewLocker()}
+	q := &Queue[T]{name: name, cap: capacity, clk: clk, mu: clk.NewLocker()}
 	q.avail = clk.NewCond(q.mu)
 	q.space = clk.NewCond(q.mu)
 	return q
+}
+
+// SetHooks installs (or clears) the queue's observation hooks. Install
+// before producers start; the zero Hooks value restores the unobserved
+// fast path (three nil checks per operation).
+func (q *Queue[T]) SetHooks(h Hooks[T]) {
+	q.mu.Lock()
+	q.hooks = h
+	q.mu.Unlock()
 }
 
 // Name returns the queue's diagnostic name.
@@ -98,6 +127,9 @@ func (q *Queue[T]) Put(x T) bool {
 	defer q.mu.Unlock()
 	blocked := false
 	for len(q.items) >= q.cap && !q.closed {
+		if !blocked && q.hooks.OnBlocked != nil {
+			q.hooks.OnBlocked(q.clk.Now())
+		}
 		blocked = true
 		q.space.Wait()
 	}
@@ -112,6 +144,9 @@ func (q *Queue[T]) Put(x T) bool {
 	q.stats.Puts++
 	if len(q.items) > q.stats.MaxDepth {
 		q.stats.MaxDepth = len(q.items)
+	}
+	if q.hooks.OnPut != nil {
+		q.hooks.OnPut(x, q.clk.Now())
 	}
 	q.avail.Signal()
 	return true
@@ -133,6 +168,9 @@ func (q *Queue[T]) TryPut(x T) bool {
 	q.stats.Puts++
 	if len(q.items) > q.stats.MaxDepth {
 		q.stats.MaxDepth = len(q.items)
+	}
+	if q.hooks.OnPut != nil {
+		q.hooks.OnPut(x, q.clk.Now())
 	}
 	q.avail.Signal()
 	return true
@@ -223,6 +261,9 @@ func (q *Queue[T]) pop() T {
 	q.items[0] = zero // release reference
 	q.items = q.items[1:]
 	q.stats.Gets++
+	if q.hooks.OnPop != nil {
+		q.hooks.OnPop(x, q.clk.Now())
+	}
 	q.space.Signal()
 	return x
 }
