@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint fmt-check test race ci bench bench-all bench-trace trace-smoke
+.PHONY: all build vet lint fmt-check test race ci bench bench-gate bench-all bench-trace trace-smoke
 
 all: build
 
@@ -48,6 +48,7 @@ ci:
 	$(MAKE) lint
 	$(GO) test -race -timeout 3600s ./...
 	$(MAKE) trace-smoke
+	$(MAKE) bench-gate
 
 # trace-smoke proves the Perfetto export end to end: a quickstart run
 # with tracing on, structurally validated by the stdlib-only checker.
@@ -56,10 +57,18 @@ trace-smoke:
 	$(GO) run ./cmd/tracecheck trace_smoke.json
 	@rm -f trace_smoke.json
 
-# bench records kernel-level serial-vs-parallel throughput and a
-# wall-clock end-to-end FPS figure to BENCH_kernels.json.
+# bench sweeps the compute kernels and a wall-clock end-to-end run
+# across GOMAXPROCS×pool widths {1,2,4,8}, recording per-width ns/op to
+# BENCH_kernels.json.
 bench:
 	$(GO) run ./cmd/ffsbench -only kernels -scale quick
+
+# bench-gate is the CI form of bench: it additionally fails on a missing
+# multi-core speedup (>=1.5x end-to-end at width>=4 — auto-skipped with
+# an explicit marker on hosts with too few cores to show one) or on a
+# serial ns/op regression beyond 1.4x of the committed baseline.
+bench-gate:
+	$(GO) run ./cmd/ffsbench -only kernels -scale quick -gate
 
 bench-all:
 	$(GO) run ./cmd/ffsbench -scale quick

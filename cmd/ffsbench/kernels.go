@@ -6,6 +6,9 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"ffsva/internal/detect"
@@ -20,56 +23,91 @@ import (
 	"ffsva"
 )
 
-// kernelResult is one kernel's serial-vs-parallel measurement.
+// sweepWidths are the pool widths the kernels job measures. Each width
+// w sets both runtime.GOMAXPROCS(w) and par.SetWorkers(w), so the
+// physical parallelism matches the sharding decision — the bug this
+// sweep exists to catch is the two diverging.
+var sweepWidths = []int{1, 2, 4, 8}
+
+// speedupFloor is the end-to-end multi-core speedup the gate demands at
+// width ≥ 4 (on hosts with at least that many cores).
+const speedupFloor = 1.5
+
+// serialRegressionFactor is how much a kernel's width-1 ns/op may grow
+// over the committed baseline before the gate fails the run.
+const serialRegressionFactor = 1.4
+
+// kernelResult is one kernel's per-width measurement. Map keys are the
+// decimal width ("1", "2", ...); speedups are relative to width 1.
 type kernelResult struct {
-	Name         string  `json:"name"`
-	SerialNsOp   float64 `json:"serial_ns_per_op"`
-	ParallelNsOp float64 `json:"parallel_ns_per_op"`
-	Speedup      float64 `json:"speedup"`
+	Name    string             `json:"name"`
+	NsPerOp map[string]float64 `json:"ns_per_op_by_width"`
+	Speedup map[string]float64 `json:"speedup_by_width"`
 }
 
-// endToEndResult is a small whole-pipeline wall-clock run.
+// endToEndResult is a small whole-pipeline wall-clock run per width.
+// Frames are recorded per width so a sharding bug that changes how many
+// frames a run processes cannot hide behind a single shared count.
 type endToEndResult struct {
-	Frames      int64   `json:"frames"`
-	SerialFPS   float64 `json:"serial_fps"`
-	ParallelFPS float64 `json:"parallel_fps"`
-	Speedup     float64 `json:"speedup"`
+	FramesByWidth  map[string]int64   `json:"frames_by_width"`
+	FPSByWidth     map[string]float64 `json:"fps_by_width"`
+	SpeedupByWidth map[string]float64 `json:"speedup_by_width"`
+}
+
+// gateReport records the two CI gates. Each entry is "ok: ...",
+// "skipped: ..." (with the reason — never a fake ~1.0× number), or
+// "FAIL: ...", in which case the kernels job exits non-zero under
+// -gate.
+type gateReport struct {
+	MulticoreSpeedup string `json:"multicore_speedup"`
+	SerialRegression string `json:"serial_regression"`
 }
 
 // kernelReport is the BENCH_kernels.json document.
 type kernelReport struct {
-	Generated  string          `json:"generated"`
-	GoMaxProcs int             `json:"gomaxprocs"`
-	Workers    int             `json:"workers"`
-	Kernels    []kernelResult  `json:"kernels"`
-	EndToEnd   *endToEndResult `json:"end_to_end,omitempty"`
+	Generated string          `json:"generated"`
+	NumCPU    int             `json:"num_cpu"`
+	Widths    []int           `json:"widths"`
+	Kernels   []kernelResult  `json:"kernels"`
+	EndToEnd  *endToEndResult `json:"end_to_end,omitempty"`
+	Gate      gateReport      `json:"gate"`
 }
 
+func widthKey(w int) string { return strconv.Itoa(w) }
+
 func (r *kernelReport) Tables() []*experiments.Table {
+	cols := []string{"kernel"}
+	for _, w := range r.Widths {
+		cols = append(cols, fmt.Sprintf("w=%d ns/op", w))
+	}
+	maxW := r.Widths[len(r.Widths)-1]
+	cols = append(cols, fmt.Sprintf("speedup@%d", maxW))
 	t := &experiments.Table{
 		ID:      "kernels",
-		Title:   "compute-kernel throughput, serial vs parallel",
-		Columns: []string{"kernel", "serial ns/op", "parallel ns/op", "speedup"},
+		Title:   "compute-kernel throughput across the GOMAXPROCS sweep",
+		Columns: cols,
 		Notes: []string{
-			"serial pins the worker pool to 1; parallel uses GOMAXPROCS workers",
+			fmt.Sprintf("each width w sets runtime.GOMAXPROCS(w) and par.SetWorkers(w), re-warming before timing; host has %d CPU(s)", r.NumCPU),
+			"speedups are relative to width 1; the multi-core gate is skipped (not faked) on hosts too small to show one",
+			"gate: " + r.Gate.MulticoreSpeedup + " | " + r.Gate.SerialRegression,
 			"written to " + benchKernelsPath,
 		},
 	}
 	for _, k := range r.Kernels {
-		t.Rows = append(t.Rows, []string{
-			k.Name,
-			fmt.Sprintf("%.0f", k.SerialNsOp),
-			fmt.Sprintf("%.0f", k.ParallelNsOp),
-			fmt.Sprintf("%.2fx", k.Speedup),
-		})
+		row := []string{k.Name}
+		for _, w := range r.Widths {
+			row = append(row, fmt.Sprintf("%.0f", k.NsPerOp[widthKey(w)]))
+		}
+		row = append(row, fmt.Sprintf("%.2fx", k.Speedup[widthKey(maxW)]))
+		t.Rows = append(t.Rows, row)
 	}
 	if r.EndToEnd != nil {
-		t.Rows = append(t.Rows, []string{
-			"end-to-end (wall clock)",
-			fmt.Sprintf("%.1f fps", r.EndToEnd.SerialFPS),
-			fmt.Sprintf("%.1f fps", r.EndToEnd.ParallelFPS),
-			fmt.Sprintf("%.2fx", r.EndToEnd.Speedup),
-		})
+		row := []string{"end-to-end (wall clock)"}
+		for _, w := range r.Widths {
+			row = append(row, fmt.Sprintf("%.1f fps", r.EndToEnd.FPSByWidth[widthKey(w)]))
+		}
+		row = append(row, fmt.Sprintf("%.2fx", r.EndToEnd.SpeedupByWidth[widthKey(maxW)]))
+		t.Rows = append(t.Rows, row)
 	}
 	return []*experiments.Table{t}
 }
@@ -77,9 +115,14 @@ func (r *kernelReport) Tables() []*experiments.Table {
 const benchKernelsPath = "BENCH_kernels.json"
 
 // measure runs body repeatedly until it has consumed at least minDur of
-// wall time and returns the mean ns per call.
+// wall time and returns the mean ns per call. Two untimed warm-up calls
+// come first: the first pays any pool startup and cold pooled scratch
+// that follows a width change, the second proves steady state. Callers
+// must re-invoke measure after every SetWorkers/GOMAXPROCS change so
+// that cost never lands inside a timed region.
 func measure(minDur time.Duration, body func()) float64 {
-	body() // warm caches and pools outside the timed region
+	body()
+	body()
 	var (
 		n     int
 		total time.Duration
@@ -96,50 +139,121 @@ func measure(minDur time.Duration, body func()) float64 {
 	return float64(total.Nanoseconds()) / float64(n)
 }
 
-// serialVsParallel measures body under a single pool worker and under
-// the full pool.
-func serialVsParallel(name string, minDur time.Duration, body func()) kernelResult {
-	prev := par.SetWorkers(1)
-	serial := measure(minDur, body)
-	par.SetWorkers(prev)
-	parallel := measure(minDur, body)
-	k := kernelResult{Name: name, SerialNsOp: serial, ParallelNsOp: parallel}
-	if parallel > 0 {
-		k.Speedup = serial / parallel
+// kernelSpec names one hot loop and how to run it once.
+type kernelSpec struct {
+	name string
+	body func()
+}
+
+// evalGates fills in r.Gate from the sweep results and the previous
+// committed report (nil when absent or unreadable).
+func (r *kernelReport) evalGates(prev *kernelReport) {
+	// Multi-core speedup gate: only meaningful where the hardware can
+	// physically run kernels in parallel.
+	switch {
+	case r.NumCPU == 1:
+		r.Gate.MulticoreSpeedup = "skipped: single-core host (NumCPU=1); parallel and serial share one core, a speedup figure here would be vacuous"
+	case r.NumCPU < 4:
+		r.Gate.MulticoreSpeedup = fmt.Sprintf("skipped: host has %d CPUs, gate needs >=4 for the width-4 floor", r.NumCPU)
+	default:
+		best, bestW := 0.0, 0
+		for _, w := range r.Widths {
+			if w < 4 || r.EndToEnd == nil {
+				continue
+			}
+			if s := r.EndToEnd.SpeedupByWidth[widthKey(w)]; s > best {
+				best, bestW = s, w
+			}
+		}
+		if best >= speedupFloor {
+			r.Gate.MulticoreSpeedup = fmt.Sprintf("ok: %.2fx end-to-end at width %d (floor %.1fx)", best, bestW, speedupFloor)
+		} else {
+			r.Gate.MulticoreSpeedup = fmt.Sprintf("FAIL: best end-to-end speedup %.2fx at width %d is under the %.1fx floor", best, bestW, speedupFloor)
+		}
 	}
-	return k
+
+	// Serial-regression gate: compare width-1 ns/op against the
+	// previous report, kernel by kernel.
+	switch {
+	case prev == nil:
+		r.Gate.SerialRegression = "skipped: no comparable baseline (BENCH_kernels.json missing or pre-sweep format)"
+	case prev.NumCPU != r.NumCPU:
+		r.Gate.SerialRegression = fmt.Sprintf("skipped: baseline recorded on a different host class (NumCPU %d vs %d)", prev.NumCPU, r.NumCPU)
+	default:
+		prevSerial := map[string]float64{}
+		for _, k := range prev.Kernels {
+			prevSerial[k.Name] = k.NsPerOp[widthKey(1)]
+		}
+		var regressions []string
+		compared := 0
+		for _, k := range r.Kernels {
+			base, ok := prevSerial[k.Name]
+			if !ok || base <= 0 {
+				continue
+			}
+			compared++
+			if now := k.NsPerOp[widthKey(1)]; now > base*serialRegressionFactor {
+				regressions = append(regressions, fmt.Sprintf("%s %.0f -> %.0f ns/op (%.2fx)", k.Name, base, now, now/base))
+			}
+		}
+		switch {
+		case compared == 0:
+			r.Gate.SerialRegression = "skipped: baseline shares no kernel names with this run"
+		case len(regressions) > 0:
+			sort.Strings(regressions)
+			r.Gate.SerialRegression = fmt.Sprintf("FAIL: serial ns/op regressed beyond %.1fx: %s", serialRegressionFactor, strings.Join(regressions, "; "))
+		default:
+			r.Gate.SerialRegression = fmt.Sprintf("ok: %d kernels within %.1fx of baseline serial ns/op", compared, serialRegressionFactor)
+		}
+	}
+}
+
+// loadPrevReport reads the committed BENCH_kernels.json as a baseline,
+// returning nil when it is absent or not in sweep format.
+func loadPrevReport() *kernelReport {
+	doc, err := os.ReadFile(benchKernelsPath)
+	if err != nil {
+		return nil
+	}
+	var prev kernelReport
+	if err := json.Unmarshal(doc, &prev); err != nil {
+		return nil
+	}
+	if len(prev.Widths) == 0 || len(prev.Kernels) == 0 || prev.Kernels[0].NsPerOp == nil {
+		return nil
+	}
+	return &prev
 }
 
 // runKernels benchmarks the hot compute kernels the filter cascade is
-// built from — serial versus pool-parallel — plus a small wall-clock
-// end-to-end run, and writes the results to BENCH_kernels.json.
-func runKernels(scale experiments.Scale) (tabler, error) {
+// built from across a {1,2,4,8} GOMAXPROCS×pool-width sweep, plus a
+// small wall-clock end-to-end run per width, writes the results to
+// BENCH_kernels.json, and (with gate set) fails on a missing multi-core
+// speedup or a serial ns/op regression.
+func runKernels(scale experiments.Scale, gate bool) (tabler, error) {
 	rng := rand.New(rand.NewSource(7))
 	minDur := 200 * time.Millisecond
 	if scale.Name == "full" {
 		minDur = time.Second
 	}
 
+	prev := loadPrevReport()
 	rep := &kernelReport{
-		Generated:  time.Now().Format(time.RFC3339),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Workers:    par.Workers(),
+		Generated: time.Now().Format(time.RFC3339),
+		NumCPU:    runtime.NumCPU(),
+		Widths:    sweepWidths,
 	}
 
 	// SNM forward, dynamic batch of 8 (the pipeline's pooled
-	// multi-sample inference path).
+	// multi-sample inference path, now on the blocked matmul).
 	snm := train.NewSNMNet(rng)
 	batch := nn.NewTensor(8, 1, filters.SNMSize, filters.SNMSize)
 	for i := range batch.Data {
 		batch.Data[i] = rng.Float32()*2 - 1
 	}
-	rep.Kernels = append(rep.Kernels, serialVsParallel("snm_forward_batch8", minDur, func() {
-		snm.Infer(batch).Release()
-	}))
 
-	// SDD kernel: downsample a capture-resolution frame to 100×100 and
-	// score it against the running reference (the per-frame work of the
-	// cascade's first stage).
+	// Fused SDD kernel: downsample a capture-resolution frame to
+	// 100×100 and score it against the running reference in one pass.
 	src := imgproc.NewGray(600, 400)
 	for i := range src.Pix {
 		src.Pix[i] = uint8(rng.Intn(256))
@@ -149,10 +263,6 @@ func runKernels(scale experiments.Scale) (tabler, error) {
 		ref.Pix[i] = uint8(rng.Intn(256))
 	}
 	small := imgproc.NewGray(filters.SDDSize, filters.SDDSize)
-	rep.Kernels = append(rep.Kernels, serialVsParallel("sdd_resize_mse_100", minDur, func() {
-		imgproc.ResizeInto(src, small)
-		imgproc.MSE(small, ref)
-	}))
 
 	// Full-resolution MSE: the chunked-reduction kernel on a plane big
 	// enough to shard (the 100×100 SDD plane fits in one chunk).
@@ -160,9 +270,6 @@ func runKernels(scale experiments.Scale) (tabler, error) {
 	for i := range src2.Pix {
 		src2.Pix[i] = uint8(rng.Intn(256))
 	}
-	rep.Kernels = append(rep.Kernels, serialVsParallel("mse_600x400", minDur, func() {
-		imgproc.MSE(src, src2)
-	}))
 
 	// Shared T-YOLO substitute on a capture-resolution frame.
 	tg := detect.NewTinyGrid(detect.DefaultTinyGridConfig())
@@ -170,9 +277,20 @@ func runKernels(scale experiments.Scale) (tabler, error) {
 	for i := range tf.Pix {
 		tf.Pix[i] = uint8(rng.Intn(256))
 	}
-	rep.Kernels = append(rep.Kernels, serialVsParallel("tinygrid_detect_600x400", minDur, func() {
-		tg.Detect(tf)
-	}))
+
+	specs := []kernelSpec{
+		{"snm_forward_batch8", func() { snm.Infer(batch).Release() }},
+		{"sdd_fused_resize_mse_100", func() { imgproc.ResizeMSE(src, small, ref) }},
+		{"mse_600x400", func() { imgproc.MSE(src, src2) }},
+		{"tinygrid_detect_600x400", func() { tg.Detect(tf) }},
+	}
+	for _, s := range specs {
+		rep.Kernels = append(rep.Kernels, kernelResult{
+			Name:    s.name,
+			NsPerOp: map[string]float64{},
+			Speedup: map[string]float64{},
+		})
+	}
 
 	// Wall-clock end-to-end: a small offline virtual-clock run, timed in
 	// real time (the virtual clock advances as fast as the host computes,
@@ -192,23 +310,55 @@ func runKernels(scale experiments.Scale) (tabler, error) {
 		sec := time.Since(start).Seconds()
 		return res.Pipeline.TotalFrames, float64(res.Pipeline.TotalFrames) / sec, nil
 	}
-	if _, _, err := e2e(); err != nil { // warm model caches
-		return nil, err
+	rep.EndToEnd = &endToEndResult{
+		FramesByWidth:  map[string]int64{},
+		FPSByWidth:     map[string]float64{},
+		SpeedupByWidth: map[string]float64{},
 	}
-	prev := par.SetWorkers(1)
-	frames, serialFPS, err := e2e()
-	par.SetWorkers(prev)
-	if err != nil {
-		return nil, err
+
+	// The sweep proper. GOMAXPROCS and the pool width move together so
+	// every width is a self-consistent configuration; both are restored
+	// afterwards.
+	origProcs := runtime.GOMAXPROCS(0)
+	origWorkers := par.Workers()
+	defer func() {
+		runtime.GOMAXPROCS(origProcs)
+		par.SetWorkers(origWorkers)
+	}()
+	for _, w := range sweepWidths {
+		runtime.GOMAXPROCS(w)
+		par.SetWorkers(w)
+		key := widthKey(w)
+		for i, s := range specs {
+			rep.Kernels[i].NsPerOp[key] = measure(minDur, s.body)
+		}
+		if _, _, err := e2e(); err != nil { // re-warm model caches at this width
+			return nil, err
+		}
+		frames, fps, err := e2e()
+		if err != nil {
+			return nil, err
+		}
+		rep.EndToEnd.FramesByWidth[key] = frames
+		rep.EndToEnd.FPSByWidth[key] = fps
 	}
-	_, parallelFPS, err := e2e()
-	if err != nil {
-		return nil, err
+
+	base := widthKey(sweepWidths[0])
+	for i := range rep.Kernels {
+		serial := rep.Kernels[i].NsPerOp[base]
+		for _, w := range sweepWidths {
+			if ns := rep.Kernels[i].NsPerOp[widthKey(w)]; ns > 0 {
+				rep.Kernels[i].Speedup[widthKey(w)] = serial / ns
+			}
+		}
 	}
-	rep.EndToEnd = &endToEndResult{Frames: frames, SerialFPS: serialFPS, ParallelFPS: parallelFPS}
-	if serialFPS > 0 {
-		rep.EndToEnd.Speedup = parallelFPS / serialFPS
+	if serialFPS := rep.EndToEnd.FPSByWidth[base]; serialFPS > 0 {
+		for _, w := range sweepWidths {
+			rep.EndToEnd.SpeedupByWidth[widthKey(w)] = rep.EndToEnd.FPSByWidth[widthKey(w)] / serialFPS
+		}
 	}
+
+	rep.evalGates(prev)
 
 	doc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -216,6 +366,17 @@ func runKernels(scale experiments.Scale) (tabler, error) {
 	}
 	if err := os.WriteFile(benchKernelsPath, append(doc, '\n'), 0o644); err != nil {
 		return nil, err
+	}
+	if gate {
+		var fails []string
+		for _, g := range []string{rep.Gate.MulticoreSpeedup, rep.Gate.SerialRegression} {
+			if strings.HasPrefix(g, "FAIL") {
+				fails = append(fails, g)
+			}
+		}
+		if len(fails) > 0 {
+			return nil, fmt.Errorf("kernel gate: %s", strings.Join(fails, " | "))
+		}
 	}
 	return rep, nil
 }

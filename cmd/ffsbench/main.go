@@ -5,7 +5,7 @@
 // Usage:
 //
 //	ffsbench [-scale quick|full] [-only table1,fig3,...] [-o out.txt]
-//	         [-metrics 500ms] [-metrics-json]
+//	         [-metrics 500ms] [-metrics-json] [-gate]
 //
 // The quick scale (default) preserves every experiment's shape in a few
 // minutes; full mirrors the paper's run sizes. The "metrics" job runs an
@@ -35,6 +35,7 @@ func main() {
 	outPath := flag.String("o", "", "write output to file instead of stdout")
 	metricsEvery := flag.Duration("metrics", 500*time.Millisecond, "snapshot interval for the metrics job")
 	metricsJSON := flag.Bool("metrics-json", false, "also dump each metrics-job snapshot as a JSON line")
+	gateFlag := flag.Bool("gate", false, "kernels job: fail (exit 1) on a missing multi-core speedup or serial ns/op regression")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -87,7 +88,7 @@ func main() {
 		{"ablations", func() (tabler, error) { return runAblations(scale) }},
 		{"extensions", func() (tabler, error) { return runExtensions(scale) }},
 		{"metrics", func() (tabler, error) { return runMetrics(scale, *metricsEvery, *metricsJSON, out) }},
-		{"kernels", func() (tabler, error) { return runKernels(scale) }},
+		{"kernels", func() (tabler, error) { return runKernels(scale, *gateFlag) }},
 		{"trace", func() (tabler, error) { return runTraceBench(scale) }},
 	}
 

@@ -14,9 +14,10 @@ var detnowAllowedPkgs = map[string]string{
 	// The clock abstraction itself: RealClock is the one sanctioned
 	// bridge to wall time.
 	"internal/vclock": "RealClock wraps the wall clock; this is the abstraction boundary",
-	// ffsbench measures real hardware throughput; wall-clock timing is
-	// its entire purpose.
-	"cmd/ffsbench": "benchmark harness measures wall-clock throughput by design",
+	// ffsbench measures real hardware throughput; wall-clock timing and
+	// the kernels job's GOMAXPROCS×pool-width sweep are its entire
+	// purpose (GOMAXPROCS is restored after the sweep).
+	"cmd/ffsbench": "benchmark harness measures wall-clock throughput and sweeps GOMAXPROCS by design",
 	// The observability endpoint serves HTTP outside the simulation;
 	// net/http stamps Date response headers (and enforces read-header
 	// timeouts) from the wall clock. Pipeline state still reaches it
@@ -48,15 +49,29 @@ var detnowRandFuncs = map[string]bool{
 	"Uint": true,
 }
 
-// DetNow forbids wall-clock reads (time.Now/Sleep/After/...) and global
-// math/rand draws outside internal/vclock and the explicit allowlist.
-// Every deterministic-simulation package must stay clock-pure: time
-// flows only through vclock.Clock and randomness only through seeded
+// DetNow forbids wall-clock reads (time.Now/Sleep/After/...), global
+// math/rand draws, and runtime.GOMAXPROCS mutations outside
+// internal/vclock and the explicit allowlist. Every
+// deterministic-simulation package must stay clock-pure: time flows
+// only through vclock.Clock and randomness only through seeded
 // *rand.Rand values, or virtual-time replays stop being bit-identical.
+// GOMAXPROCS(0) reads stay legal everywhere (internal/par sizes its
+// default pool from one); setting it reshapes scheduling under every
+// other goroutine in the process, so only the benchmark sweep may.
 var DetNow = &Analyzer{
 	Name: "detnow",
-	Doc:  "no wall clock or global math/rand outside internal/vclock and the allowlist (determinism)",
+	Doc:  "no wall clock, global math/rand, or GOMAXPROCS mutation outside internal/vclock and the allowlist (determinism)",
 	Run:  runDetNow,
+}
+
+// isZeroLit reports whether args is exactly one literal 0 — the
+// read-only form of runtime.GOMAXPROCS.
+func isZeroLit(args []ast.Expr) bool {
+	if len(args) != 1 {
+		return false
+	}
+	lit, ok := args[0].(*ast.BasicLit)
+	return ok && lit.Value == "0"
 }
 
 func runDetNow(pass *Pass) {
@@ -91,6 +106,11 @@ func runDetNow(pass *Pass) {
 					pass.Reportf(call.Pos(),
 						"global rand.%s breaks seeded reproducibility; draw from a per-caller *rand.Rand (rand.New(rand.NewSource(seed)))",
 						sel.Sel.Name)
+				}
+			case "runtime":
+				if sel.Sel.Name == "GOMAXPROCS" && !isZeroLit(call.Args) {
+					pass.Reportf(call.Pos(),
+						"runtime.GOMAXPROCS mutation reshapes scheduling process-wide; size parallelism with par.SetWorkers (GOMAXPROCS(0) reads are fine)")
 				}
 			}
 			return true

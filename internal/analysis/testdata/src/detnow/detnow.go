@@ -5,6 +5,7 @@ package detnowfix
 
 import (
 	"math/rand"
+	"runtime"
 	"time"
 
 	"ffsva/internal/vclock"
@@ -29,6 +30,15 @@ func good(clk vclock.Clock) int {
 		return 0
 	}
 	return rng.Intn(10)
+}
+
+// resized mutates the global scheduler width — which silently reshapes
+// how every concurrent kernel in the process shards — while the
+// argumentless-zero read stays legal.
+func resized() int {
+	runtime.GOMAXPROCS(4)        // want `runtime\.GOMAXPROCS mutation`
+	runtime.GOMAXPROCS(1 * 2)    // want `runtime\.GOMAXPROCS mutation`
+	return runtime.GOMAXPROCS(0) // read-only form: legal
 }
 
 // suppressed documents an accepted wall-clock read.

@@ -204,8 +204,23 @@ func (s *SDD) Process(f *frame.Frame) Verdict {
 	if s.small == nil {
 		s.small = imgproc.NewGray(SDDSize, SDDSize)
 	}
-	imgproc.ResizeInto(imgproc.FromFrame(f), s.small)
-	d := Distance(s.small, s.refGray(), s.Metric, s.CompensateLum)
+	var d float64
+	if (s.Metric == MetricMSE || s.Metric == MetricNRMSE) && !s.CompensateLum {
+		// Fused fast path: resize and score in one sweep. The row sums
+		// are exact integers, so the value is bitwise-identical to
+		// ResizeInto followed by Distance. Luminance compensation needs
+		// the full resized image before its offset pass, so that
+		// configuration stays on the two-kernel path below.
+		mse := imgproc.ResizeMSE(imgproc.FromFrame(f), s.small, s.refGray())
+		if s.Metric == MetricNRMSE {
+			d = math.Sqrt(mse) / 255
+		} else {
+			d = mse
+		}
+	} else {
+		imgproc.ResizeInto(imgproc.FromFrame(f), s.small)
+		d = Distance(s.small, s.refGray(), s.Metric, s.CompensateLum)
+	}
 	s.lastD = d
 	if d <= s.Delta {
 		// Background: adapt the reference.

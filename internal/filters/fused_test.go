@@ -1,0 +1,74 @@
+package filters
+
+import (
+	"math/rand"
+	"testing"
+
+	"ffsva/internal/frame"
+	"ffsva/internal/imgproc"
+)
+
+// noisyFrame renders deterministic speckle so the resize interpolates
+// real structure rather than a constant plane.
+func noisyFrame(rng *rand.Rand, w, h int) *frame.Frame {
+	f := frame.New(w, h)
+	for i := range f.Pix {
+		f.Pix[i] = uint8(rng.Intn(256))
+	}
+	return f
+}
+
+// TestSDDFusedPathMatchesTwoPass runs the same frame sequence through
+// two SDDs that differ only in which code path Process takes — the
+// fused ResizeMSE kernel (CompensateLum off, MSE/NRMSE) versus the
+// explicit ResizeInto+Distance pair — and requires identical distances,
+// verdicts, and reference evolution. The fused kernel's integer row
+// sums make its value exactly the float64 accumulation Distance does,
+// so this must hold bit for bit.
+func TestSDDFusedPathMatchesTwoPass(t *testing.T) {
+	for _, metric := range []Metric{MetricMSE, MetricNRMSE} {
+		rng := rand.New(rand.NewSource(23))
+		ref := imgproc.NewGray(SDDSize, SDDSize)
+		for i := range ref.Pix {
+			ref.Pix[i] = uint8(100 + rng.Intn(40))
+		}
+
+		fused := NewSDD(ref, 30, metric)
+		fused.CompensateLum = false
+		manual := NewSDD(ref, 30, metric)
+		manual.CompensateLum = false
+		scratch := imgproc.NewGray(SDDSize, SDDSize)
+
+		for i := 0; i < 30; i++ {
+			f := noisyFrame(rng, 320, 240)
+			// Every few frames, feed a near-reference frame so both the
+			// Drop (reference-adapting) and Pass branches execute.
+			if i%3 == 0 {
+				for j := range f.Pix {
+					f.Pix[j] = 110
+				}
+			}
+			got := fused.Process(f)
+
+			// Manual two-pass distance on an identical filter state.
+			imgproc.ResizeInto(imgproc.FromFrame(f), scratch)
+			wantD := Distance(scratch, manual.refGray(), metric, false)
+			want := manual.Process(f)
+
+			if got != want {
+				t.Fatalf("metric=%v frame %d: verdict %v vs %v", metric, i, got, want)
+			}
+			if fused.LastDistance() != wantD || fused.LastDistance() != manual.LastDistance() {
+				t.Fatalf("metric=%v frame %d: fused distance %v, manual %v (Distance says %v)",
+					metric, i, fused.LastDistance(), manual.LastDistance(), wantD)
+			}
+		}
+		// The adaptive references must have evolved identically too.
+		for i := range fused.ref {
+			if fused.ref[i] != manual.ref[i] {
+				t.Fatalf("metric=%v: reference element %d drifted: %v vs %v",
+					metric, i, fused.ref[i], manual.ref[i])
+			}
+		}
+	}
+}

@@ -91,6 +91,46 @@ func Resize(src *Gray, w, h int) *Gray {
 	return dst
 }
 
+// resizeRow writes one bilinear output row y of the src→(w,·) resize
+// into dst (length w). Both ResizeInto and the fused ResizeMSE build on
+// it, so the two paths compute identical pixels by construction.
+func resizeRow(src *Gray, w, y int, xRatio, yRatio float64, dst []uint8) {
+	sy := (float64(y)+0.5)*yRatio - 0.5
+	y0 := int(math.Floor(sy))
+	fy := sy - float64(y0)
+	y1 := y0 + 1
+	if y0 < 0 {
+		y0, y1, fy = 0, 0, 0
+	}
+	if y1 >= src.H {
+		y1 = src.H - 1
+		if y0 > y1 {
+			y0 = y1
+		}
+	}
+	row0 := src.Pix[y0*src.W:]
+	row1 := src.Pix[y1*src.W:]
+	for x := 0; x < w; x++ {
+		sx := (float64(x)+0.5)*xRatio - 0.5
+		x0 := int(math.Floor(sx))
+		fx := sx - float64(x0)
+		x1 := x0 + 1
+		if x0 < 0 {
+			x0, x1, fx = 0, 0, 0
+		}
+		if x1 >= src.W {
+			x1 = src.W - 1
+			if x0 > x1 {
+				x0 = x1
+			}
+		}
+		top := float64(row0[x0])*(1-fx) + float64(row0[x1])*fx
+		bot := float64(row1[x0])*(1-fx) + float64(row1[x1])*fx
+		v := top*(1-fy) + bot*fy
+		dst[x] = uint8(math.Round(clamp(v, 0, 255)))
+	}
+}
+
 // ResizeInto scales src into dst (sized by dst.W×dst.H), overwriting
 // every pixel, so dst may be a dirty pooled image. Output rows are
 // independent and shard over the worker pool; each row is written by
@@ -109,42 +149,55 @@ func ResizeInto(src, dst *Gray) {
 	yRatio := float64(src.H) / float64(h)
 	par.For(h, 8, func(lo, hi int) {
 		for y := lo; y < hi; y++ {
-			sy := (float64(y)+0.5)*yRatio - 0.5
-			y0 := int(math.Floor(sy))
-			fy := sy - float64(y0)
-			y1 := y0 + 1
-			if y0 < 0 {
-				y0, y1, fy = 0, 0, 0
-			}
-			if y1 >= src.H {
-				y1 = src.H - 1
-				if y0 > y1 {
-					y0 = y1
-				}
-			}
-			row0 := src.Pix[y0*src.W:]
-			row1 := src.Pix[y1*src.W:]
-			for x := 0; x < w; x++ {
-				sx := (float64(x)+0.5)*xRatio - 0.5
-				x0 := int(math.Floor(sx))
-				fx := sx - float64(x0)
-				x1 := x0 + 1
-				if x0 < 0 {
-					x0, x1, fx = 0, 0, 0
-				}
-				if x1 >= src.W {
-					x1 = src.W - 1
-					if x0 > x1 {
-						x0 = x1
-					}
-				}
-				top := float64(row0[x0])*(1-fx) + float64(row0[x1])*fx
-				bot := float64(row1[x0])*(1-fx) + float64(row1[x1])*fx
-				v := top*(1-fy) + bot*fy
-				dst.Pix[y*w+x] = uint8(math.Round(clamp(v, 0, 255)))
-			}
+			resizeRow(src, w, y, xRatio, yRatio, dst.Pix[y*w:(y+1)*w])
 		}
 	})
+}
+
+// resizeMSERows is the fixed row chunk of the fused resize+score
+// reduction; boundaries depend only on the output height, so the
+// partial-combination order is machine-independent.
+const resizeMSERows = 8
+
+// ResizeMSE scales src into dst exactly as ResizeInto does and, in the
+// same pass, returns the mean squared error between the fresh dst and
+// ref — the per-frame work of the SDD stage fused into one sweep, so
+// each output row is scored while still hot in cache instead of being
+// re-read by a second kernel. dst and ref must both be dst.W×dst.H.
+// Row-chunk difference sums are exact integers combined in chunk order,
+// so the result is bitwise-identical to ResizeInto followed by MSE, for
+// any worker count.
+func ResizeMSE(src, dst, ref *Gray) float64 {
+	sameSize("ResizeMSE", dst, ref)
+	w, h := dst.W, dst.H
+	if w <= 0 || h <= 0 {
+		panic("imgproc: ResizeMSE: non-positive target size")
+	}
+	if src.W == w && src.H == h {
+		copy(dst.Pix, src.Pix)
+		return MSE(dst, ref)
+	}
+	xRatio := float64(src.W) / float64(w)
+	yRatio := float64(src.H) / float64(h)
+	partials := make([]uint64, par.NumChunks(h, resizeMSERows))
+	par.ForChunks(h, resizeMSERows, func(ci, lo, hi int) {
+		var sum uint64
+		for y := lo; y < hi; y++ {
+			row := dst.Pix[y*w : (y+1)*w]
+			resizeRow(src, w, y, xRatio, yRatio, row)
+			refRow := ref.Pix[y*w : (y+1)*w]
+			for x, v := range row {
+				d := int(v) - int(refRow[x])
+				sum += uint64(d * d)
+			}
+		}
+		partials[ci] = sum
+	})
+	var sum uint64
+	for _, p := range partials {
+		sum += p
+	}
+	return float64(sum) / float64(len(dst.Pix))
 }
 
 // ResizeNearest scales src into a new w×h image with nearest-neighbor

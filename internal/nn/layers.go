@@ -109,27 +109,104 @@ func (c *Conv2D) im2colInto(x []float32, inH, inW, outH, outW int, cols *Tensor)
 	}
 }
 
-// convRow computes one (sample, output-channel) row of the convolution:
-// dst[p] = b + sum_k w[k]·cols[k, p]. Both Forward and Infer go through
-// it, so the two paths are bitwise-identical.
-func convRow(dst, wRow []float32, cols *Tensor, bias float32, kdim, pdim int) {
-	for i := range dst {
-		dst[i] = bias
-	}
-	for k := 0; k < kdim; k++ {
-		wv := wRow[k]
-		if wv == 0 {
-			continue
+// convPanel is the number of output positions per cache block of the
+// convolution matmul: four float32 accumulator rows of this width
+// (~8 KB) plus one im2col row panel stay resident in L1 while the
+// kernel sweeps kdim.
+const convPanel = 512
+
+// convBlock computes output channels [oc0, oc1) of one sample:
+// out[oc*pdim+p] = bias[oc] + Σ_k w[oc*kdim+k]·cols[k*pdim+p]. The
+// outer loop blocks over output-position panels; within a panel,
+// channels run in quads so each im2col row panel is loaded once per
+// four channels (with the four weights in registers) instead of once
+// per channel. Per output element the arithmetic is exactly the scalar
+// row kernel's — bias first, then k ascending with zero-weight taps
+// skipped — so outputs are bitwise-identical to the unblocked loop, and
+// Forward and Infer (which both route here) to each other.
+func convBlock(out, w, bias, cols []float32, oc0, oc1, kdim, pdim int) {
+	for p0 := 0; p0 < pdim; p0 += convPanel {
+		p1 := p0 + convPanel
+		if p1 > pdim {
+			p1 = pdim
 		}
-		colRow := cols.Data[k*pdim : (k+1)*pdim]
-		for p, cv := range colRow {
-			dst[p] += wv * cv
+		oc := oc0
+		for ; oc+4 <= oc1; oc += 4 {
+			d0 := out[oc*pdim+p0 : oc*pdim+p1]
+			d1 := out[(oc+1)*pdim+p0 : (oc+1)*pdim+p1]
+			d2 := out[(oc+2)*pdim+p0 : (oc+2)*pdim+p1]
+			d3 := out[(oc+3)*pdim+p0 : (oc+3)*pdim+p1]
+			b0, b1, b2, b3 := bias[oc], bias[oc+1], bias[oc+2], bias[oc+3]
+			for i := range d0 {
+				d0[i] = b0
+				d1[i] = b1
+				d2[i] = b2
+				d3[i] = b3
+			}
+			w0 := w[oc*kdim : (oc+1)*kdim]
+			w1 := w[(oc+1)*kdim : (oc+2)*kdim]
+			w2 := w[(oc+2)*kdim : (oc+3)*kdim]
+			w3 := w[(oc+3)*kdim : (oc+4)*kdim]
+			for k := 0; k < kdim; k++ {
+				colRow := cols[k*pdim+p0 : k*pdim+p1]
+				v0, v1, v2, v3 := w0[k], w1[k], w2[k], w3[k]
+				if v0 != 0 && v1 != 0 && v2 != 0 && v3 != 0 {
+					for p, cv := range colRow {
+						d0[p] += v0 * cv
+						d1[p] += v1 * cv
+						d2[p] += v2 * cv
+						d3[p] += v3 * cv
+					}
+					continue
+				}
+				// Exact-zero weights keep the scalar kernel's
+				// per-channel skip: x + 0·c is not always a bitwise
+				// no-op (-0 + 0 = +0).
+				if v0 != 0 {
+					for p, cv := range colRow {
+						d0[p] += v0 * cv
+					}
+				}
+				if v1 != 0 {
+					for p, cv := range colRow {
+						d1[p] += v1 * cv
+					}
+				}
+				if v2 != 0 {
+					for p, cv := range colRow {
+						d2[p] += v2 * cv
+					}
+				}
+				if v3 != 0 {
+					for p, cv := range colRow {
+						d3[p] += v3 * cv
+					}
+				}
+			}
+		}
+		for ; oc < oc1; oc++ {
+			d := out[oc*pdim+p0 : oc*pdim+p1]
+			b := bias[oc]
+			for i := range d {
+				d[i] = b
+			}
+			wRow := w[oc*kdim : (oc+1)*kdim]
+			for k := 0; k < kdim; k++ {
+				v := wRow[k]
+				if v == 0 {
+					continue
+				}
+				colRow := cols[k*pdim+p0 : k*pdim+p1]
+				for p, cv := range colRow {
+					d[p] += v * cv
+				}
+			}
 		}
 	}
 }
 
 // forwardInto runs the convolution over the batch: im2col sharded by
-// sample, then the matmul sharded by (sample, output channel). cols must
+// sample, then the matmul sharded by (sample, channel quad). cols must
 // hold one (kdim, pdim) matrix per sample.
 func (c *Conv2D) forwardInto(x, out *Tensor, cols []*Tensor, n, inH, inW, outH, outW int) {
 	sampleIn := c.InC * inH * inW
@@ -141,11 +218,20 @@ func (c *Conv2D) forwardInto(x, out *Tensor, cols []*Tensor, n, inH, inW, outH, 
 			c.im2colInto(x.Data[s*sampleIn:(s+1)*sampleIn], inH, inW, outH, outW, cols[s])
 		}
 	})
-	par.For(n*c.OutC, 1, func(lo, hi int) {
+	// Each index is one convBlock call over a quad of output channels —
+	// big enough to amortize a dispatch, while still exposing
+	// n*⌈OutC/4⌉ independent pieces of work.
+	ocb := (c.OutC + 3) / 4
+	par.For(n*ocb, 1, func(lo, hi int) {
 		for idx := lo; idx < hi; idx++ {
-			s, oc := idx/c.OutC, idx%c.OutC
-			dst := out.Data[s*sampleOut+oc*pdim : s*sampleOut+(oc+1)*pdim]
-			convRow(dst, c.w.Val.Data[oc*kdim:(oc+1)*kdim], cols[s], c.b.Val.Data[oc], kdim, pdim)
+			s, b := idx/ocb, idx%ocb
+			oc0 := b * 4
+			oc1 := oc0 + 4
+			if oc1 > c.OutC {
+				oc1 = c.OutC
+			}
+			convBlock(out.Data[s*sampleOut:(s+1)*sampleOut],
+				c.w.Val.Data, c.b.Val.Data, cols[s].Data, oc0, oc1, kdim, pdim)
 		}
 	})
 }
@@ -353,6 +439,17 @@ func poolShape(x *Tensor) (n, ch, h, w, oh, ow int) {
 	return n, ch, h, w, oh, ow
 }
 
+// poolGrain returns the plane-count grain for sharding (sample,
+// channel) planes of oh×ow outputs: enough planes per chunk that each
+// dispatch covers a few thousand window reductions.
+func poolGrain(oh, ow int) int {
+	g := 4096 / (oh * ow)
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
 // Forward implements Layer. Planes (sample, channel) are independent, so
 // they shard over the worker pool.
 func (m *MaxPool2) Forward(x *Tensor) *Tensor {
@@ -363,7 +460,7 @@ func (m *MaxPool2) Forward(x *Tensor) *Tensor {
 		m.argmax = make([]int, out.Len())
 	}
 	m.argmax = m.argmax[:out.Len()]
-	par.For(n*ch, 1, func(lo, hi int) {
+	par.For(n*ch, poolGrain(oh, ow), func(lo, hi int) {
 		for plane := lo; plane < hi; plane++ {
 			base := plane * h * w
 			obase := plane * oh * ow
@@ -396,7 +493,7 @@ func (m *MaxPool2) Forward(x *Tensor) *Tensor {
 func (m *MaxPool2) Infer(x *Tensor) *Tensor {
 	n, ch, h, w, oh, ow := poolShape(x)
 	out := GetTensorDirty(n, ch, oh, ow)
-	par.For(n*ch, 1, func(lo, hi int) {
+	par.For(n*ch, poolGrain(oh, ow), func(lo, hi int) {
 		for plane := lo; plane < hi; plane++ {
 			base := plane * h * w
 			obase := plane * oh * ow
@@ -455,9 +552,16 @@ func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
 
 // forwardInto computes the affine map sharded by (sample, output unit);
 // each index writes exactly one output element. Every element is
-// written, so out may be a dirty pooled buffer.
+// written, so out may be a dirty pooled buffer. The grain scales with
+// the dot-product length so a chunk always carries a few thousand
+// multiply-adds — wide layers shard per unit, narrow ones only in
+// batches big enough to beat the dispatch cost.
 func (d *Dense) forwardInto(x, out *Tensor, n int) {
-	par.For(n*d.Out, 8, func(lo, hi int) {
+	grain := 2048 / d.In
+	if grain < 1 {
+		grain = 1
+	}
+	par.For(n*d.Out, grain, func(lo, hi int) {
 		for idx := lo; idx < hi; idx++ {
 			s, o := idx/d.Out, idx%d.Out
 			in := x.Data[s*d.In : (s+1)*d.In]

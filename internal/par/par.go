@@ -14,13 +14,22 @@
 //     of the worker count — and whose partials the caller combines in
 //     chunk order, fixing the reduction order.
 //   - No deadlock under nesting: a kernel may call another kernel (e.g.
-//     TinyGrid calls Resize). Submission never blocks on pool capacity;
-//     when every worker is busy the calling goroutine runs the chunk
-//     inline.
+//     TinyGrid calls Resize). The submitting goroutine never waits on
+//     pool capacity: it claims chunks from the job cursor itself, so
+//     every loop completes even if no worker ever picks the job up.
 //   - Clock neutrality: workers are plain goroutines that compute
 //     synchronously on behalf of the caller. Virtual-clock processes may
 //     call into the pool freely — the call returns only when the work is
 //     done, so no simulated time passes inside a kernel.
+//
+// Dispatch model: each For/ForChunks call publishes one job — a chunk
+// cursor over the index range — and pushes wake-up references into the
+// pool's queue. Workers that pop a reference join the caller in claiming
+// chunks from the cursor until none remain. Wake-ups are best-effort: a
+// dropped or stale wake-up (queue full, pool resized mid-flight) costs
+// parallelism for that one loop, never correctness, because the caller
+// drains the cursor regardless. This is what makes SetWorkers safe to
+// call at any time, including while kernels are running.
 package par
 
 import (
@@ -29,64 +38,183 @@ import (
 	"sync/atomic"
 )
 
-// task is one chunk of a parallel loop.
-type task struct {
-	body   func(lo, hi int)
-	lo, hi int
-	wg     *sync.WaitGroup
+// job is one parallel loop in flight. Executors — the submitting
+// goroutine plus any pool workers woken for it — claim chunk indices
+// from next until the range is exhausted. Chunk ci covers
+// [ci*size, min(n, (ci+1)*size)).
+type job struct {
+	body      func(lo, hi int)     // For loops
+	chunkBody func(ci, lo, hi int) // ForChunks loops (no per-chunk closure)
+	n, size   int
+	nchunks   int64
+	next      atomic.Int64
+	wg        sync.WaitGroup
+}
+
+// run claims and executes chunks until the cursor is exhausted. It is
+// called by the submitting goroutine and by every worker that picks the
+// job up; the atomic cursor makes each chunk run exactly once.
+func (j *job) run() {
+	for {
+		ci := j.next.Add(1) - 1
+		if ci >= j.nchunks {
+			return
+		}
+		lo := int(ci) * j.size
+		hi := lo + j.size
+		if hi > j.n {
+			hi = j.n
+		}
+		if j.chunkBody != nil {
+			j.chunkBody(int(ci), lo, hi)
+		} else {
+			j.body(lo, hi)
+		}
+		j.wg.Done()
+	}
+}
+
+// pool is one generation of physical workers. SetWorkers replaces the
+// whole generation: the old one is told to stop, a new one is spawned at
+// the new width with a queue whose capacity follows it.
+type pool struct {
+	width int
+	jobs  chan *job
+	stop  chan struct{}
 }
 
 var (
-	initOnce sync.Once
-	queue    chan task
-	// workers is the configured pool width. Zero means "not yet
-	// initialized"; SetWorkers overrides it (tests, benchmarks).
-	workers atomic.Int64
+	// mu serializes resizes (SetWorkers and the lazy first-use spawn).
+	mu sync.Mutex
+	// cur is the live worker generation; nil while the configured width
+	// is 1 (serial pinning needs no goroutines). Submitters read it
+	// without mu: a stale pool reference only mis-routes a wake-up.
+	cur atomic.Pointer[pool]
+	// conf is the configured pool width. Zero means "not yet set":
+	// Workers falls back to GOMAXPROCS until SetWorkers pins it.
+	conf atomic.Int64
+	// live counts running physical workers (see PhysicalWorkers).
+	live atomic.Int64
 )
 
-// start launches the pool lazily on first use.
-func start() {
-	initOnce.Do(func() {
-		if workers.Load() == 0 {
-			workers.Store(int64(runtime.GOMAXPROCS(0)))
-		}
-		// The queue is deliberately small: submissions beyond what the
-		// workers can absorb run inline in the caller, which doubles as
-		// the no-deadlock guarantee for nested parallel kernels.
-		queue = make(chan task, 4*runtime.GOMAXPROCS(0))
-		for i := 0; i < runtime.GOMAXPROCS(0); i++ {
-			go func() {
-				for t := range queue {
-					t.body(t.lo, t.hi)
-					t.wg.Done()
+// newPool spawns width workers draining a queue sized to the width.
+// live is incremented synchronously so PhysicalWorkers observes the
+// spawn as soon as SetWorkers returns; each worker decrements on exit.
+func newPool(width int) *pool {
+	p := &pool{
+		width: width,
+		jobs:  make(chan *job, 2*width),
+		stop:  make(chan struct{}),
+	}
+	live.Add(int64(width))
+	for i := 0; i < width; i++ {
+		go func() {
+			defer live.Add(-1)
+			for {
+				select {
+				case <-p.stop:
+					return
+				case j := <-p.jobs:
+					j.run()
 				}
-			}()
+			}
+		}()
+	}
+	return p
+}
+
+// resizeLocked replaces the worker generation to match width. Caller
+// holds mu. Retiring is asynchronous — old workers exit when they next
+// observe stop — but any job they still hold finishes first, and jobs
+// stranded in the abandoned queue are completed by their submitters.
+func resizeLocked(width int) {
+	p := cur.Load()
+	if p != nil {
+		if p.width == width {
+			return
 		}
-	})
+		close(p.stop)
+	}
+	if width <= 1 {
+		cur.Store(nil)
+		return
+	}
+	cur.Store(newPool(width))
+}
+
+// getPool returns the live pool, lazily spawning the default-width
+// generation on first parallel use. want is the width the caller just
+// read; on mismatch (first use, or a concurrent resize) the
+// configuration is re-read under mu so the pool always converges to the
+// latest SetWorkers call.
+func getPool(want int) *pool {
+	if p := cur.Load(); p != nil && p.width == want {
+		return p
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	resizeLocked(Workers())
+	return cur.Load()
 }
 
 // Workers reports the configured pool width (defaults to GOMAXPROCS).
 func Workers() int {
-	if w := workers.Load(); w > 0 {
+	if w := conf.Load(); w > 0 {
 		return int(w)
 	}
 	return runtime.GOMAXPROCS(0)
 }
 
-// SetWorkers overrides the pool width and returns the previous value.
-// Width 1 forces every kernel down its serial inline path; benchmarks
-// use that to measure serial baselines and tests to prove serial and
-// parallel results are bitwise-identical. The physical goroutines are
-// unaffected — only the sharding decision changes — so SetWorkers is
-// cheap and safe at any time, though concurrent kernels observe the
-// change at their next For call.
+// PhysicalWorkers reports how many pool goroutines currently exist. It
+// tracks SetWorkers: spawns are visible immediately, retirements once
+// the outgoing workers observe their stop signal (poll when asserting
+// shrinkage). Width 1 runs every kernel inline in its caller, so the
+// count is 0 there.
+func PhysicalWorkers() int { return int(live.Load()) }
+
+// SetWorkers sets the pool width and returns the previous value. Unlike
+// earlier revisions, the physical pool tracks the configured width:
+// workers spawn or retire immediately and the queue capacity follows.
+// Width 1 retires the pool entirely and forces every kernel down its
+// serial inline path; benchmarks use that to measure serial baselines
+// and tests to prove serial and parallel results are bitwise-identical.
+// SetWorkers is safe at any time — kernels running during a resize
+// complete correctly (their submitters drain the chunk cursor), and
+// concurrent kernels observe the new width at their next For call.
 func SetWorkers(n int) int {
 	if n < 1 {
 		n = 1
 	}
+	mu.Lock()
+	defer mu.Unlock()
 	prev := Workers()
-	workers.Store(int64(n))
+	conf.Store(int64(n))
+	resizeLocked(n)
 	return prev
+}
+
+// dispatch publishes the job to up to width-1 workers and then claims
+// chunks itself until the loop is done. Wake-up sends never block: if
+// the queue is full every worker is already busy (or has a backlog of
+// wake-ups), so another reference would not add executors.
+func dispatch(j *job, width int) {
+	j.wg.Add(int(j.nchunks))
+	if p := getPool(width); p != nil {
+		helpers := int(j.nchunks) - 1
+		if helpers > p.width {
+			helpers = p.width
+		}
+	wake:
+		for i := 0; i < helpers; i++ {
+			select {
+			case p.jobs <- j:
+			default:
+				break wake
+			}
+		}
+	}
+	j.run()
+	j.wg.Wait()
 }
 
 // For runs body over the index range [0, n), sharded across the pool.
@@ -107,7 +235,6 @@ func For(n, minGrain int, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
-	start()
 	// Aim for a few chunks per worker so an unlucky scheduling of one
 	// large chunk cannot serialize the tail, but never dip below
 	// minGrain per chunk.
@@ -120,23 +247,7 @@ func For(n, minGrain int, body func(lo, hi int)) {
 		return
 	}
 	size := (n + chunks - 1) / chunks
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += size {
-		hi := lo + size
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		t := task{body: body, lo: lo, hi: hi, wg: &wg}
-		select {
-		case queue <- t:
-		default:
-			// Pool saturated (or nested call): run inline.
-			body(lo, hi)
-			wg.Done()
-		}
-	}
-	wg.Wait()
+	dispatch(&job{body: body, n: n, size: size, nchunks: int64(NumChunks(n, size))}, w)
 }
 
 // ForChunks runs body over [0, n) in fixed-size chunks of the given
@@ -153,7 +264,8 @@ func ForChunks(n, size int, body func(ci, lo, hi int)) {
 		size = 1
 	}
 	nc := NumChunks(n, size)
-	if Workers() == 1 || nc == 1 {
+	w := Workers()
+	if w == 1 || nc == 1 {
 		for ci := 0; ci < nc; ci++ {
 			lo := ci * size
 			hi := lo + size
@@ -164,25 +276,7 @@ func ForChunks(n, size int, body func(ci, lo, hi int)) {
 		}
 		return
 	}
-	start()
-	var wg sync.WaitGroup
-	for ci := 0; ci < nc; ci++ {
-		lo := ci * size
-		hi := lo + size
-		if hi > n {
-			hi = n
-		}
-		ci := ci
-		wg.Add(1)
-		t := task{body: func(lo, hi int) { body(ci, lo, hi) }, lo: lo, hi: hi, wg: &wg}
-		select {
-		case queue <- t:
-		default:
-			body(ci, lo, hi)
-			wg.Done()
-		}
-	}
-	wg.Wait()
+	dispatch(&job{chunkBody: body, n: n, size: size, nchunks: int64(nc)}, w)
 }
 
 // NumChunks returns how many chunks ForChunks(n, size, ...) will run.

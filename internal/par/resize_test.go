@@ -1,0 +1,153 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPhysicalWidthTracksSetWorkers proves the physical pool follows the
+// configured width — the bug class this guards against is SetWorkers
+// changing only the sharding decision while the goroutine count stays
+// frozen at first-use GOMAXPROCS. Spawns are visible immediately;
+// retirements are polled (outgoing workers exit when they observe stop).
+func TestPhysicalWidthTracksSetWorkers(t *testing.T) {
+	orig := Workers()
+	defer SetWorkers(orig)
+
+	waitPhysical := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for PhysicalWorkers() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("PhysicalWorkers = %d, want %d", PhysicalWorkers(), want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	SetWorkers(6)
+	waitPhysical(6)
+	SetWorkers(3)
+	waitPhysical(3)
+	SetWorkers(1) // serial pinning retires the pool entirely
+	waitPhysical(0)
+	SetWorkers(8)
+	waitPhysical(8)
+}
+
+// countingBarrier runs a For loop whose every chunk parks until
+// `parties` chunks are running at once, proving at least that many
+// concurrent executors exist (pool workers plus the submitting
+// goroutine). It returns false instead of deadlocking when the
+// concurrency never materializes.
+func countingBarrier(parties int) bool {
+	var running atomic.Int64
+	release := make(chan struct{})
+	fail := make(chan struct{})
+	var failOnce sync.Once
+	watchdog := time.AfterFunc(10*time.Second, func() {
+		failOnce.Do(func() { close(fail) })
+	})
+	defer watchdog.Stop()
+
+	ok := true
+	For(parties, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if running.Add(1) == int64(parties) {
+				close(release)
+			}
+			select {
+			case <-release:
+			case <-fail:
+				ok = false
+			}
+		}
+	})
+	return ok
+}
+
+// TestSetWorkersWidensConcurrency is the counting-task check: under the
+// old frozen pool, SetWorkers(8) at GOMAXPROCS=1 yielded one physical
+// worker plus the inline caller (~2-way), so an 8-party barrier could
+// never fill. The reworked pool must pass it at any GOMAXPROCS — parked
+// chunks block on channels, which needs live goroutines, not cores.
+func TestSetWorkersWidensConcurrency(t *testing.T) {
+	orig := Workers()
+	defer SetWorkers(orig)
+
+	SetWorkers(8)
+	// 9 parties: 8 pool workers + the submitting goroutine must all be
+	// claiming chunks for the barrier to fill.
+	if !countingBarrier(9) {
+		t.Fatal("8-worker pool never reached 9 concurrent executors")
+	}
+
+	SetWorkers(2)
+	if !countingBarrier(3) {
+		t.Fatal("2-worker pool never reached 3 concurrent executors")
+	}
+}
+
+// TestResizeWhileKernelsRun hammers For/ForChunks from several
+// goroutines while the pool is resized underneath them, checking every
+// loop still covers its range exactly once. Run with -race: this is the
+// safety proof for SetWorkers during live kernels (stale wake-ups land
+// in abandoned queues; submitters drain their own cursors).
+func TestResizeWhileKernelsRun(t *testing.T) {
+	orig := Workers()
+	defer SetWorkers(orig)
+
+	stop := make(chan struct{})
+	var resizes sync.WaitGroup
+	resizes.Add(1)
+	go func() {
+		defer resizes.Done()
+		widths := []int{1, 2, 8, 4, 1, 6}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			SetWorkers(widths[i%len(widths)])
+		}
+	}()
+
+	var workers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		workers.Add(1)
+		go func(g int) {
+			defer workers.Done()
+			for iter := 0; iter < 200; iter++ {
+				const n = 10_000
+				buf := make([]int32, n)
+				For(n, 64, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						buf[i]++
+					}
+				})
+				partials := make([]int64, NumChunks(n, 1<<10))
+				ForChunks(n, 1<<10, func(ci, lo, hi int) {
+					var sum int64
+					for i := lo; i < hi; i++ {
+						sum += int64(buf[i])
+					}
+					partials[ci] = sum
+				})
+				var total int64
+				for _, p := range partials {
+					total += p
+				}
+				if total != n {
+					t.Errorf("g=%d iter=%d: total = %d, want %d", g, iter, total, n)
+					return
+				}
+			}
+		}(g)
+	}
+	workers.Wait()
+	close(stop)
+	resizes.Wait()
+}
