@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint fmt-check test race ci bench bench-gate bench-all bench-trace trace-smoke
+.PHONY: all build vet lint fmt-check test race ci bench bench-gate bench-all bench-trace bench-cluster trace-smoke
 
 all: build
 
@@ -36,7 +36,7 @@ test:
 # kernels with their pooled buffers (worker pool, tensor/frame pools),
 # and the fault-injection + cluster failure/recovery paths.
 race:
-	$(GO) test -race ./internal/queue ./internal/pipeline ./internal/par ./internal/nn ./internal/detect ./internal/faults ./internal/cluster ./internal/trace ./internal/obs
+	$(GO) test -race ./internal/queue ./internal/pipeline ./internal/par ./internal/nn ./internal/detect ./internal/faults ./internal/cluster ./internal/cluster/sched ./internal/trace ./internal/obs
 
 # The experiments suite alone needs ~20 min under -race (the virtual
 # clock is cooperative, so the race detector's overhead doesn't
@@ -49,6 +49,7 @@ ci:
 	$(GO) test -race -timeout 3600s ./...
 	$(MAKE) trace-smoke
 	$(MAKE) bench-gate
+	$(MAKE) bench-cluster
 
 # trace-smoke proves the Perfetto export end to end: a quickstart run
 # with tracing on, structurally validated by the stdlib-only checker.
@@ -77,3 +78,12 @@ bench-all:
 # tracing off vs on must stay within 3% FPS, recorded in BENCH_trace.json.
 bench-trace:
 	$(GO) run ./cmd/ffsbench -only trace -scale quick
+
+# bench-cluster sweeps concurrent-stream counts against a fixed fleet
+# under both placement policies and records the max sustained level to
+# BENCH_cluster.json. The sweep runs on the virtual clock with charged
+# costs, so the figures are deterministic; -gate fails on any drop below
+# the committed baseline (skipped, with an explicit marker, on hosts too
+# small to spend the wall-clock on).
+bench-cluster:
+	$(GO) run ./cmd/ffsbench -only cluster -scale quick -gate

@@ -31,11 +31,11 @@ type tabler interface{ Tables() []*experiments.Table }
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
-	only := flag.String("only", "", "comma-separated experiment ids to run (default all): headline,table1,fig3,fig4,fig5,fig6a,fig6b,fig7,fig8,table2,fig9,fig10,ablations,extensions,metrics,kernels,trace")
+	only := flag.String("only", "", "comma-separated experiment ids to run (default all): headline,table1,fig3,fig4,fig5,fig6a,fig6b,fig7,fig8,table2,fig9,fig10,ablations,extensions,metrics,kernels,trace,cluster")
 	outPath := flag.String("o", "", "write output to file instead of stdout")
 	metricsEvery := flag.Duration("metrics", 500*time.Millisecond, "snapshot interval for the metrics job")
 	metricsJSON := flag.Bool("metrics-json", false, "also dump each metrics-job snapshot as a JSON line")
-	gateFlag := flag.Bool("gate", false, "kernels job: fail (exit 1) on a missing multi-core speedup or serial ns/op regression")
+	gateFlag := flag.Bool("gate", false, "kernels job: fail (exit 1) on a missing multi-core speedup or serial ns/op regression; cluster job: fail on a max-sustained-streams regression")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -90,6 +90,7 @@ func main() {
 		{"metrics", func() (tabler, error) { return runMetrics(scale, *metricsEvery, *metricsJSON, out) }},
 		{"kernels", func() (tabler, error) { return runKernels(scale, *gateFlag) }},
 		{"trace", func() (tabler, error) { return runTraceBench(scale) }},
+		{"cluster", func() (tabler, error) { return runClusterBench(scale, *gateFlag) }},
 	}
 
 	fmt.Fprintf(out, "FFS-VA evaluation reproduction (scale=%s), started %s\n\n", scale.Name, time.Now().Format(time.RFC3339))

@@ -1,8 +1,10 @@
 // Cluster: FFS-VA beyond one server (paper §4.3). Two instances receive
-// a growing set of live streams; the manager admits each new stream to
-// the instance with spare capacity and re-forwards streams away from an
-// instance that overloads, using the paper's signals (shared T-YOLO
-// rate, queue depths, ingest lag).
+// a growing set of live streams through the control plane: a pluggable
+// placement policy admits each arrival (least-load here; try
+// sched.PolicyHash for consistent hashing), per-tenant quotas bound how
+// many streams one camera owner may hold at once, and the manager
+// re-forwards streams away from an instance that overloads, using the
+// paper's signals (shared T-YOLO rate, queue depths, ingest lag).
 //
 //	go run ./examples/cluster
 package main
@@ -13,6 +15,7 @@ import (
 	"time"
 
 	"ffsva/internal/cluster"
+	"ffsva/internal/cluster/sched"
 	"ffsva/internal/detect"
 	"ffsva/internal/device"
 	"ffsva/internal/lab"
@@ -30,6 +33,11 @@ func main() {
 	cfg := cluster.DefaultConfig(clk, 2)
 	cfg.Horizon = 55 * time.Second
 	cfg.OverloadChecks = 2
+	// The control plane: explicit placement policy plus a quota that
+	// caps tenant "acme" at two concurrent streams — the third acme
+	// arrival is rejected with its frames charged to drop-admission.
+	cfg.Placement = sched.PlacementConfig{Policy: sched.PolicyLeastLoad}
+	cfg.Quotas = sched.QuotaConfig{PerTenant: map[string]int{"acme": 2}}
 	// A slower reference model makes two co-located busy streams
 	// overload one instance, forcing the manager to act.
 	costs := device.Calibrated()
@@ -38,12 +46,15 @@ func main() {
 	costs[device.ModelRef] = ref
 	cfg.Pipeline.Costs = costs
 
+	tenants := []string{"acme", "acme", "globex", "acme", "globex"}
 	var arrivals []cluster.Arrival
 	for i := 0; i < 5; i++ {
 		i := i
 		arrivals = append(arrivals, cluster.Arrival{
-			At: time.Duration(i) * 2 * time.Second,
-			ID: 200 + i,
+			At:     time.Duration(i) * 2 * time.Second,
+			ID:     200 + i,
+			Tenant: tenants[i],
+			Frames: 900,
 			Make: func(tg *detect.TinyGrid) pipeline.StreamSpec {
 				return cam.Stream(200+i, tg, lab.StreamOptions{
 					Seed: int64(5000 + i), Frames: 900, // 30 s per stream
@@ -55,10 +66,14 @@ func main() {
 	fmt.Println("running 5 stream arrivals against a 2-instance cluster...")
 	rep := cluster.New(cfg, arrivals).Run()
 
-	fmt.Printf("\nmanager events (%d admissions, %d re-forwards):\n",
-		rep.Admissions(), rep.Reforwards())
+	fmt.Printf("\nmanager events (%d admissions, %d rejections, %d re-forwards):\n",
+		rep.Admissions(), rep.Rejects(), rep.Reforwards())
 	for _, e := range rep.Events {
 		fmt.Printf("  %v\n", e)
+	}
+	for _, rj := range rep.Rejections {
+		fmt.Printf("\nrejected: stream %d (tenant %q, %s), %d frames -> drop-admission\n",
+			rj.StreamID, rj.Tenant, rj.Reason, rj.Frames)
 	}
 	fmt.Println("\nper-stream frames processed across instance fragments:")
 	for id, n := range rep.StreamFrames {

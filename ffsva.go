@@ -36,6 +36,7 @@ import (
 	"context"
 
 	"ffsva/internal/cluster"
+	"ffsva/internal/cluster/sched"
 	"ffsva/internal/core"
 	"ffsva/internal/faults"
 	"ffsva/internal/obs"
@@ -50,11 +51,35 @@ type (
 	// Result bundles performance and accuracy outcomes.
 	Result = core.Result
 	// ClusterConfig describes a multi-instance run (§4.3): the same
-	// workload description as Config plus an instance count and a
-	// stream arrival cadence.
+	// workload description as Config plus an instance count, a stream
+	// arrival cadence, and the control plane — promoted Placement /
+	// Quotas / Elastic sub-configs plus the manager tuning knobs.
 	ClusterConfig = core.ClusterConfig
+	// ClusterTuning bundles the control-plane knobs inside
+	// ClusterConfig; cluster defaults live in exactly one place behind
+	// it.
+	ClusterTuning = cluster.Tuning
+	// PlacementConfig selects the stream placement policy
+	// (ClusterConfig.Placement): PlacementLeastLoad or PlacementHash.
+	PlacementConfig = sched.PlacementConfig
+	// QuotaConfig bounds admission per tenant and cluster-wide
+	// (ClusterConfig.Quotas); rejected arrivals surface as
+	// ClusterReport.Rejections with their frames charged to
+	// DropAdmission.
+	QuotaConfig = sched.QuotaConfig
+	// ElasticConfig drives instance scale-up/down
+	// (ClusterConfig.Elastic); the zero value pins the fleet at the
+	// configured instance count.
+	ElasticConfig = sched.ElasticConfig
 	// ClusterReport aggregates a finished multi-instance run.
 	ClusterReport = cluster.Report
+	// ClusterEvent is one control-plane action (admit, reject,
+	// re-forward, fail, recover, migrate, scale-up/down) in
+	// ClusterReport.Events.
+	ClusterEvent = cluster.Event
+	// Rejection is one arrival refused admission, in
+	// ClusterReport.Rejections.
+	Rejection = cluster.Rejection
 	// Accuracy is the paper's accuracy accounting.
 	Accuracy = core.Accuracy
 	// Report is the pipeline performance report.
@@ -113,13 +138,20 @@ const (
 
 // Frame dispositions.
 const (
-	DropSDD    = pipeline.DropSDD
-	DropSNM    = pipeline.DropSNM
-	DropTYolo  = pipeline.DropTYolo
-	Detected   = pipeline.Detected
-	DropClosed = pipeline.DropClosed
-	DropError  = pipeline.DropError
-	DropShed   = pipeline.DropShed
+	DropSDD       = pipeline.DropSDD
+	DropSNM       = pipeline.DropSNM
+	DropTYolo     = pipeline.DropTYolo
+	Detected      = pipeline.Detected
+	DropClosed    = pipeline.DropClosed
+	DropError     = pipeline.DropError
+	DropShed      = pipeline.DropShed
+	DropAdmission = pipeline.DropAdmission
+)
+
+// Placement policies (ClusterConfig.Placement.Policy).
+const (
+	PlacementLeastLoad = sched.PolicyLeastLoad
+	PlacementHash      = sched.PolicyHash
 )
 
 // Fault kinds (Config.Faults).
@@ -151,6 +183,9 @@ var (
 	ErrBadTolerance       = core.ErrBadTolerance
 	ErrBadNumberOfObjects = core.ErrBadNumberOfObjects
 	ErrBadInstances       = core.ErrBadInstances
+	ErrBadPlacement       = sched.ErrBadPlacement
+	ErrBadQuota           = sched.ErrBadQuota
+	ErrBadElastic         = sched.ErrBadElastic
 )
 
 // DefaultConfig returns a ready-to-run configuration (one offline car

@@ -14,11 +14,18 @@ import (
 // breaks Report's conservation invariant across the SDD→SNM→T-YOLO
 // cascade.
 //
+// The same ledger discipline extends to the control plane's admission
+// path: a scheduler Admit call hands back a rejection reason, and a
+// rejected arrival's whole frame budget must be charged somewhere
+// (DropAdmission, a reject call) — those frames are never minted, so
+// an unexamined rejection vanishes them from cluster-wide
+// conservation.
+//
 // Unchecked puts are putcheck's domain; this analyzer audits the checked
 // ones.
 var Dispositions = &Analyzer{
 	Name: "dispositions",
-	Doc:  "the failure path of a checked frame Put must record a Drop* disposition, release, or re-forward the frame",
+	Doc:  "the failure path of a checked frame Put or scheduler Admit must record a Drop* disposition, release, or re-forward",
 	Run:  runDispositions,
 }
 
@@ -30,6 +37,7 @@ func runDispositions(pass *Pass) {
 				checkIfCond(pass, n)
 			case *ast.BlockStmt:
 				checkAssignedResults(pass, n)
+				checkAdmitResults(pass, n)
 			}
 			return true
 		})
@@ -137,6 +145,52 @@ func checkAssignedResults(pass *Pass, block *ast.BlockStmt) {
 	}
 }
 
+// checkAdmitResults audits the admission-rejection path: an
+// `inst, why := sch.Admit(...)` must be followed, in the same block, by
+// a branch on the reason whose body records the rejection — a reject
+// call or a DropAdmission ledger charge — so a refused arrival's frame
+// budget stays on the books.
+func checkAdmitResults(pass *Pass, block *ast.BlockStmt) {
+	for i, stmt := range block.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 2 || len(as.Rhs) != 1 {
+			continue
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || exprName(call.Fun) != "Admit" {
+			continue
+		}
+		id, ok := as.Lhs[1].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if id.Name == "_" {
+			pass.Reportf(call.Pos(),
+				"admission rejection reason is discarded: a refused arrival's frame budget must be charged (DropAdmission) or the rejection recorded")
+			continue
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		handled := false
+		for _, later := range block.List[i+1:] {
+			ifs, ok := later.(*ast.IfStmt)
+			if ok && usesObject(pass.Info, ifs.Cond, obj) && hasDispositionSink(pass, ifs.Body) {
+				handled = true
+				break
+			}
+		}
+		if !handled {
+			pass.Reportf(call.Pos(),
+				"admission rejection path records no disposition: branch on the reason and charge the arrival's frames (DropAdmission) or record the rejection")
+		}
+	}
+}
+
 // hasDispositionSink reports whether the failure path contains any
 // accepted accounting for the rejected frame.
 func hasDispositionSink(pass *Pass, n ast.Node) bool {
@@ -153,6 +207,17 @@ func hasDispositionSink(pass *Pass, n ast.Node) bool {
 		case *ast.IncDecStmt:
 			if nameMentionsDrop(exprName(m.X)) {
 				found = true
+			}
+		case *ast.AssignStmt:
+			// A direct ledger charge: drops[DropAdmission] += n, or an
+			// accumulator whose name mentions the loss.
+			for _, l := range m.Lhs {
+				if ix, ok := ast.Unparen(l).(*ast.IndexExpr); ok && isDispositionConst(pass.Info, ix.Index) {
+					found = true
+				}
+				if nameMentionsDrop(exprName(l)) {
+					found = true
+				}
 			}
 		case *ast.SendStmt:
 			found = true // re-forwarded via channel
@@ -185,6 +250,10 @@ func dispositionSinkCall(pass *Pass, call *ast.CallExpr) bool {
 	switch name {
 	case "finish", "finishLost", "Finish", "Release", "Write", "panic":
 		return true
+	case "reject", "Reject":
+		// The admission-rejection recorder charges the arrival's frame
+		// budget to the DropAdmission ledger.
+		return true
 	case "Inc", "Add":
 		// A counter whose name mentions dropping/shedding counts as the
 		// ledger entry (s.shedCtr.Inc()).
@@ -207,10 +276,10 @@ func exprName(e ast.Expr) string {
 }
 
 // nameMentionsDrop matches counter names that plausibly ledger a lost
-// frame: drop/shed/orphan/lost.
+// frame or refused arrival: drop/shed/orphan/lost/reject.
 func nameMentionsDrop(name string) bool {
 	n := strings.ToLower(name)
-	for _, kw := range []string{"drop", "shed", "orphan", "lost", "discard"} {
+	for _, kw := range []string{"drop", "shed", "orphan", "lost", "discard", "reject"} {
 		if strings.Contains(n, kw) {
 			return true
 		}

@@ -79,3 +79,66 @@ func suppressed(q *queue.Queue[*frame.Frame], f *frame.Frame, c *counters) {
 		c.served = 0
 	}
 }
+
+// The admission-rejection half of the audit: a scheduler Admit hands
+// back a rejection reason, and the rejection path must charge the
+// arrival's frame budget.
+
+type fakeSched struct{}
+
+func (*fakeSched) Admit(id int, tenant string) (int, int) { return -1, 1 }
+
+type fakeCluster struct {
+	sch   *fakeSched
+	drops [8]int64
+}
+
+func (c *fakeCluster) reject(id, why int) { c.drops[7]++ }
+
+// Disposition mirrors the pipeline's typed frame-outcome constant; the
+// analyzer recognizes ledger charges indexed by it.
+type Disposition int
+
+const fakeDropAdmission Disposition = 7
+
+// badAdmitDiscarded throws the rejection reason away.
+func badAdmitDiscarded(c *fakeCluster) {
+	inst, _ := c.sch.Admit(1, "") // want `admission rejection reason is discarded`
+	_ = inst
+}
+
+// badAdmitUnbranched stores the reason and never looks at it.
+func badAdmitUnbranched(c *fakeCluster) {
+	inst, why := c.sch.Admit(1, "") // want `admission rejection path records no disposition`
+	_, _ = inst, why
+}
+
+// badAdmitNoCharge branches on the reason but charges nothing.
+func badAdmitNoCharge(c *fakeCluster) (int, bool) {
+	inst, why := c.sch.Admit(1, "") // want `admission rejection path records no disposition`
+	if why != 0 {
+		return -1, false
+	}
+	return inst, true
+}
+
+// goodAdmitReject records the rejection through the recorder, which
+// charges the DropAdmission ledger.
+func goodAdmitReject(c *fakeCluster) int {
+	inst, why := c.sch.Admit(1, "")
+	if why != 0 {
+		c.reject(1, why)
+		return -1
+	}
+	return inst
+}
+
+// goodAdmitLedger charges the ledger index directly.
+func goodAdmitLedger(c *fakeCluster) int {
+	inst, why := c.sch.Admit(1, "")
+	if why != 0 {
+		c.drops[fakeDropAdmission] += 60
+		return -1
+	}
+	return inst
+}

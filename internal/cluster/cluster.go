@@ -1,19 +1,28 @@
 // Package cluster scales FFS-VA beyond one instance, implementing the
-// multi-instance behaviour the paper describes in §4.3: new streams are
-// admitted to an instance with spare capacity (shared T-YOLO rate below
-// the spare threshold, paper's 140 FPS / 5 s signal), and when an
-// instance overloads (SNM or T-YOLO queues pinned at their depth
-// thresholds), one of its streams is re-forwarded — stopped at a frame
-// boundary and continued on another instance.
+// multi-instance behaviour the paper describes in §4.3 and growing it
+// into a control plane: new streams are admitted under tenant quotas
+// and placed by a pluggable policy (least-load over the paper's spare
+// T-YOLO-rate signal, or consistent hashing over stream IDs), an
+// overloaded instance's streams are re-forwarded — stopped at a frame
+// boundary and continued on another instance — the fleet grows and
+// shrinks elastically under sustained overload or idleness, and the
+// same continuation machinery serves failure recovery and scheduled
+// migrations alike.
+//
+// The split: this package is the mechanism (instances, stream
+// continuations, heartbeats, the event ledger); every decision is
+// delegated to internal/cluster/sched, the policy component.
 package cluster
 
 import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 
+	"ffsva/internal/cluster/sched"
 	"ffsva/internal/detect"
 	"ffsva/internal/faults"
 	"ffsva/internal/imgproc"
@@ -22,19 +31,16 @@ import (
 	"ffsva/internal/vclock"
 )
 
-// Config assembles a Cluster.
-type Config struct {
-	Clock vclock.Clock
-	// Instances is the number of FFS-VA instances (each gets the full
-	// device complement: one CPU pool + two GPUs, i.e. one server).
-	Instances int
-	// Pipeline is the per-instance configuration template; its Clock is
-	// overwritten with the cluster clock and its Mode forced Online.
-	Pipeline pipeline.Config
+// Tuning bundles every control-plane knob. It is the single source of
+// cluster defaults: cluster.DefaultConfig and core.DefaultClusterConfig
+// both draw from DefaultTuning.
+type Tuning struct {
 	// SpareTYRate is the shared T-YOLO rate (FPS) below which an
 	// instance is considered to have spare capacity.
 	SpareTYRate float64
-	// CheckEvery is the monitor period.
+	// CheckEvery is the manager's monitor period; it doubles as the
+	// post-move cooldown, so a stream is never bounced twice within one
+	// CheckEvery window.
 	CheckEvery time.Duration
 	// OverloadChecks is how many consecutive overloaded observations
 	// trigger a re-forward.
@@ -45,9 +51,6 @@ type Config struct {
 	// BacklogThreshold is the capture-buffer depth (frames) above which
 	// an instance counts as overloaded; backlog/FPS is seconds behind.
 	BacklogThreshold int
-	// Horizon is how long the manager and monitor stay alive; it must
-	// cover the last arrival plus the longest stream duration.
-	Horizon time.Duration
 
 	// HeartbeatEvery is each instance's liveness stamp period (forwarded
 	// to pipeline.Config); FailTimeout is how stale a stamp may go before
@@ -55,6 +58,100 @@ type Config struct {
 	// streams. Failure detection runs only when both are positive.
 	HeartbeatEvery time.Duration
 	FailTimeout    time.Duration
+
+	// Placement selects the stream placement policy (least-load or
+	// consistent hashing); Quotas bounds admission per tenant and
+	// cluster-wide; Elastic drives instance scale-up/down. Their zero
+	// values mean: least-load, no quotas, no elasticity.
+	Placement sched.PlacementConfig
+	Quotas    sched.QuotaConfig
+	Elastic   sched.ElasticConfig
+}
+
+// DefaultTuning returns the control-plane defaults per the paper's
+// signals (140 FPS spare threshold, 1 s monitor period, 3 s behind at
+// 30 FPS backlog threshold).
+func DefaultTuning() Tuning {
+	return Tuning{
+		SpareTYRate:      140,
+		CheckEvery:       time.Second,
+		OverloadChecks:   3,
+		LagThreshold:     250 * time.Millisecond,
+		BacklogThreshold: 90, // 3 s at 30 FPS
+		HeartbeatEvery:   500 * time.Millisecond,
+		FailTimeout:      2 * time.Second,
+	}
+}
+
+// WithDefaults fills every zero knob from DefaultTuning, leaving set
+// values (and the Placement/Quotas/Elastic sub-configs, whose zero
+// values are meaningful) alone. Negative HeartbeatEvery or FailTimeout
+// normalize to 0, explicitly disabling failure detection.
+func (t Tuning) WithDefaults() Tuning {
+	d := DefaultTuning()
+	if t.SpareTYRate == 0 {
+		t.SpareTYRate = d.SpareTYRate
+	}
+	if t.CheckEvery == 0 {
+		t.CheckEvery = d.CheckEvery
+	}
+	if t.OverloadChecks == 0 {
+		t.OverloadChecks = d.OverloadChecks
+	}
+	if t.LagThreshold == 0 {
+		t.LagThreshold = d.LagThreshold
+	}
+	if t.BacklogThreshold == 0 {
+		t.BacklogThreshold = d.BacklogThreshold
+	}
+	if t.HeartbeatEvery == 0 {
+		t.HeartbeatEvery = d.HeartbeatEvery
+	} else if t.HeartbeatEvery < 0 {
+		t.HeartbeatEvery = 0
+	}
+	if t.FailTimeout == 0 {
+		t.FailTimeout = d.FailTimeout
+	} else if t.FailTimeout < 0 {
+		t.FailTimeout = 0
+	}
+	return t
+}
+
+// Validate checks the tuning, delegating the sub-configs to their
+// sentinel-wrapping validators (ErrBadPlacement, ErrBadQuota,
+// ErrBadElastic).
+func (t Tuning) Validate() error {
+	if t.CheckEvery < 0 {
+		return fmt.Errorf("cluster: CheckEvery must not be negative, have %v", t.CheckEvery)
+	}
+	if t.OverloadChecks < 0 {
+		return fmt.Errorf("cluster: OverloadChecks must not be negative, have %d", t.OverloadChecks)
+	}
+	if err := t.Placement.Validate(); err != nil {
+		return err
+	}
+	if err := t.Quotas.Validate(); err != nil {
+		return err
+	}
+	return t.Elastic.Validate()
+}
+
+// Config assembles a Cluster.
+type Config struct {
+	Clock vclock.Clock
+	// Instances is the initial number of FFS-VA instances (each gets the
+	// full device complement: one CPU pool + two GPUs, i.e. one server);
+	// Tuning.Elastic can grow and shrink the fleet from there.
+	Instances int
+	// Pipeline is the per-instance configuration template; its Clock is
+	// overwritten with the cluster clock and its Mode forced Online.
+	Pipeline pipeline.Config
+	// Tuning holds every control-plane knob; its fields are promoted
+	// (cfg.CheckEvery, cfg.Placement, ...).
+	Tuning
+	// Horizon is how long the manager and monitor stay alive; it must
+	// cover the last arrival plus the longest stream duration.
+	Horizon time.Duration
 	// Faults is the cluster-wide fault-injection plan: stream-level
 	// faults travel with their streams across instances, device-level
 	// faults bind to Fault.Instance, and InstanceCrash faults are
@@ -64,8 +161,8 @@ type Config struct {
 	// Tracer, when non-nil, records every instance's frames into one
 	// shared per-frame trace. Each instance's spans carry its index, so
 	// a re-forwarded stream's frames appear under both instances'
-	// process tracks; manager actions (admit, re-forward, fail,
-	// recover) become instant events on the affected instance.
+	// process tracks; manager actions (admit, reject, re-forward, fail,
+	// recover, migrate, scale) become instant events.
 	Tracer *trace.Tracer
 	// OnSnapshot, when non-nil, receives every instance snapshot the
 	// manager observes, tagged with the instance index — the live
@@ -79,17 +176,11 @@ func DefaultConfig(clk vclock.Clock, instances int) Config {
 	pc := pipeline.DefaultConfig(clk)
 	pc.Mode = pipeline.Online
 	return Config{
-		Clock:            clk,
-		Instances:        instances,
-		Pipeline:         pc,
-		SpareTYRate:      140,
-		CheckEvery:       time.Second,
-		OverloadChecks:   3,
-		LagThreshold:     250 * time.Millisecond,
-		BacklogThreshold: 90, // 3 s at 30 FPS
-		Horizon:          60 * time.Second,
-		HeartbeatEvery:   500 * time.Millisecond,
-		FailTimeout:      2 * time.Second,
+		Clock:     clk,
+		Instances: instances,
+		Pipeline:  pc,
+		Tuning:    DefaultTuning(),
+		Horizon:   60 * time.Second,
 	}
 }
 
@@ -97,6 +188,13 @@ func DefaultConfig(clk vclock.Clock, instances int) Config {
 type Arrival struct {
 	At time.Duration
 	ID int
+	// Tenant attributes the stream for quota accounting; empty is the
+	// default tenant.
+	Tenant string
+	// Frames is the stream's frame budget. A rejected arrival charges
+	// this many frames to the DropAdmission ledger — the spec is never
+	// minted — keeping cluster-wide frame conservation checkable.
+	Frames int
 	// Make mints the stream spec against the chosen instance's shared
 	// T-YOLO detector.
 	Make func(tg *detect.TinyGrid) pipeline.StreamSpec
@@ -114,6 +212,20 @@ const (
 	EventFail
 	// EventRecover records one stream re-forwarded off a dead instance.
 	EventRecover
+	// EventReject records an arrival refused admission (quota exhausted
+	// or no live instance); Note carries the reason.
+	EventReject
+	// EventScaleUp records an elastically added instance (To is the new
+	// instance; StreamID is -1).
+	EventScaleUp
+	// EventScaleDown records an elastically retired instance (From is
+	// the instance; StreamID is -1).
+	EventScaleDown
+	// EventMigrate records a scheduler-decided rebalance migration —
+	// the same continuation path as EventReforward, but triggered by
+	// placement policy (e.g. guests going home after a scale-up), not
+	// by overload.
+	EventMigrate
 )
 
 // Event is one manager action, for the report.
@@ -122,6 +234,8 @@ type Event struct {
 	At       time.Duration
 	StreamID int
 	From, To int // instance indices; From is -1 for admissions
+	// Note carries the human-readable detail for rejections.
+	Note string
 }
 
 // String renders the event.
@@ -134,28 +248,67 @@ func (e Event) String() string {
 		return fmt.Sprintf("t=%v instance %d failed (heartbeat stale)", at, e.From)
 	case EventRecover:
 		return fmt.Sprintf("t=%v recover stream %d: instance %d -> %d", at, e.StreamID, e.From, e.To)
+	case EventReject:
+		return fmt.Sprintf("t=%v reject stream %d (%s)", at, e.StreamID, e.Note)
+	case EventScaleUp:
+		return fmt.Sprintf("t=%v scale-up: add instance %d", at, e.To)
+	case EventScaleDown:
+		return fmt.Sprintf("t=%v scale-down: retire instance %d", at, e.From)
+	case EventMigrate:
+		return fmt.Sprintf("t=%v migrate stream %d: instance %d -> %d", at, e.StreamID, e.From, e.To)
 	default:
 		return fmt.Sprintf("t=%v reforward stream %d: instance %d -> %d", at, e.StreamID, e.From, e.To)
 	}
 }
 
-// Cluster is a set of FFS-VA instances under one admission manager.
+// Rejection is one arrival refused admission, with the frame budget
+// charged to DropAdmission on its behalf.
+type Rejection struct {
+	At       time.Duration
+	StreamID int
+	Tenant   string
+	Frames   int
+	Reason   sched.RejectReason
+}
+
+// rebalanceWindow is how many CheckEvery periods after a membership
+// change (scale-up/down, failure) the scheduler's Rebalance hook keeps
+// proposing migrations; outside the window both built-in policies hold
+// still to avoid steady-state churn.
+const rebalanceWindow = 5
+
+// migratePerTick bounds rebalance migrations per manager tick, so a
+// membership change disrupts at most a couple of streams at once.
+const migratePerTick = 2
+
+// Cluster is a set of FFS-VA instances under one control plane.
 type Cluster struct {
-	cfg       Config
+	cfg      Config
+	sch      *sched.Scheduler
+	arrivals []Arrival
+
 	instances []*pipeline.System
 	tgs       []*detect.TinyGrid
-	arrivals  []Arrival
-
 	// injs holds each instance's fault injector (empty without a plan).
 	injs []*faults.Injector
 
 	// bookkeeping (cooperatively accessed from manager/monitor procs)
-	loc    map[int]int                 // stream id -> instance index
-	specs  map[int]pipeline.StreamSpec // last spec per stream id
-	counts []int                       // active streams per instance
-	over   []int                       // consecutive overload observations
-	failed []bool                      // instances declared dead
-	events []Event
+	loc     map[int]int                 // stream id -> owning instance (kept after completion)
+	done    map[int]bool                // streams finished or abandoned
+	specs   map[int]pipeline.StreamSpec // last spec per stream id
+	counts  []int                       // active streams per instance
+	over    []int                       // consecutive overload observations
+	failed  []bool                      // instances declared dead
+	retired []bool                      // instances elastically shut down
+	events  []Event
+
+	rejections []Rejection
+	drops      [pipeline.NumDispositions]int64 // cluster-level ledger (DropAdmission)
+
+	// rebalanceUntil opens the post-membership-change window during
+	// which the placement policy may propose rebalance migrations.
+	rebalanceUntil time.Duration
+
 	// unregs defers clearing migrated-away streams' detector state on
 	// their source instances until the stopped fragments drain.
 	unregs []unreg
@@ -167,37 +320,58 @@ type Cluster struct {
 	managerDone atomic.Bool
 }
 
-// New builds a cluster; Run executes it to completion.
+// New builds a cluster; Run executes it to completion. The config's
+// Tuning is taken as-is (call Validate / WithDefaults first when it
+// came from user input); a placement policy that fails to build panics,
+// as does a non-positive instance count.
 func New(cfg Config, arrivals []Arrival) *Cluster {
 	if cfg.Instances <= 0 {
 		panic("cluster: need at least one instance")
 	}
+	sch, err := sched.New(sched.Config{
+		Placement: cfg.Placement,
+		Quotas:    cfg.Quotas,
+		Elastic:   cfg.Elastic,
+		Cooldown:  cfg.CheckEvery,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("cluster: %v", err))
+	}
 	c := &Cluster{
 		cfg:      cfg,
+		sch:      sch,
 		arrivals: append([]Arrival(nil), arrivals...),
 		loc:      make(map[int]int),
+		done:     make(map[int]bool),
 		specs:    make(map[int]pipeline.StreamSpec),
-		counts:   make([]int, cfg.Instances),
-		over:     make([]int, cfg.Instances),
-		failed:   make([]bool, cfg.Instances),
 	}
 	sort.SliceStable(c.arrivals, func(i, j int) bool { return c.arrivals[i].At < c.arrivals[j].At })
 	for i := 0; i < cfg.Instances; i++ {
-		pc := cfg.Pipeline
-		pc.Clock = cfg.Clock
-		pc.Mode = pipeline.Online
-		pc.HeartbeatEvery = cfg.HeartbeatEvery
-		pc.Tracer = cfg.Tracer
-		pc.Instance = i
-		inj := faults.NewInjector(faults.ForInstance(cfg.Faults, i))
-		if len(cfg.Faults) > 0 {
-			pc.AdjustService = inj.AdjustServiceTime
-		}
-		c.injs = append(c.injs, inj)
-		c.instances = append(c.instances, pipeline.New(pc, nil))
-		c.tgs = append(c.tgs, detect.NewTinyGrid(detect.DefaultTinyGridConfig()))
+		c.newInstance(i)
 	}
 	return c
+}
+
+// newInstance appends instance i's pipeline, detector, injector, and
+// bookkeeping slots. Shared by construction and elastic scale-up.
+func (c *Cluster) newInstance(i int) {
+	pc := c.cfg.Pipeline
+	pc.Clock = c.cfg.Clock
+	pc.Mode = pipeline.Online
+	pc.HeartbeatEvery = c.cfg.HeartbeatEvery
+	pc.Tracer = c.cfg.Tracer
+	pc.Instance = i
+	inj := faults.NewInjector(faults.ForInstance(c.cfg.Faults, i))
+	if len(c.cfg.Faults) > 0 {
+		pc.AdjustService = inj.AdjustServiceTime
+	}
+	c.injs = append(c.injs, inj)
+	c.instances = append(c.instances, pipeline.New(pc, nil))
+	c.tgs = append(c.tgs, detect.NewTinyGrid(detect.DefaultTinyGridConfig()))
+	c.counts = append(c.counts, 0)
+	c.over = append(c.over, 0)
+	c.failed = append(c.failed, false)
+	c.retired = append(c.retired, false)
 }
 
 // unreg is one deferred detector cleanup: stream id's background model
@@ -228,7 +402,9 @@ func (c *Cluster) RunContext(ctx context.Context) *Report {
 		inst.Start()
 	}
 	// Scheduled instance crashes fire as independent timer processes;
-	// failure detection then notices the frozen heartbeat.
+	// failure detection then notices the frozen heartbeat. Crash faults
+	// bind to the initial instances — elastically added ones have no
+	// pre-assignable index.
 	for _, cr := range faults.Crashes(c.cfg.Faults) {
 		if cr.Instance < 0 || cr.Instance >= len(c.instances) {
 			continue
@@ -278,10 +454,35 @@ func (c *Cluster) observe() []pipeline.Snapshot {
 	return snaps
 }
 
+// view assembles the scheduler's consistent observation from the
+// tick's snapshots and the cluster's bookkeeping.
+func (c *Cluster) view(snaps []pipeline.Snapshot) *sched.View {
+	insts := make([]sched.Instance, len(snaps))
+	for i := range snaps {
+		insts[i] = sched.Instance{
+			Index:      i,
+			Live:       !c.failed[i] && !c.retired[i],
+			Overloaded: c.overloaded(snaps[i]),
+			Streams:    c.counts[i],
+			TYoloRate:  snaps[i].TYoloRate,
+			Spare:      snaps[i].TYoloRate < c.cfg.SpareTYRate,
+			Backlog:    snaps[i].WorstBacklog,
+		}
+	}
+	owners := make(map[int]int, len(c.loc))
+	for id, inst := range c.loc {
+		if !c.done[id] {
+			owners[id] = inst
+		}
+	}
+	return c.sch.View(c.cfg.Clock.Now(), insts, owners)
+}
+
 // record appends a manager event and mirrors it into the trace as an
-// instant event — on the destination instance's track for admissions,
-// on the source's for everything else (that is where the disruption
-// happened).
+// instant event — on the destination instance's track for admissions
+// and scale-ups, on the source's for everything else (that is where
+// the disruption happened), and on instance 0's (the cluster's front
+// door) for rejections.
 func (c *Cluster) record(e Event) {
 	c.events = append(c.events, e)
 	tr := c.cfg.Tracer
@@ -298,31 +499,16 @@ func (c *Cluster) record(e Event) {
 		name = fmt.Sprintf("instance %d failed", e.From)
 	case EventRecover:
 		name = fmt.Sprintf("recover stream %d -> %d", e.StreamID, e.To)
+	case EventReject:
+		inst, name = 0, fmt.Sprintf("reject stream %d", e.StreamID)
+	case EventScaleUp:
+		inst, name = e.To, fmt.Sprintf("scale-up instance %d", e.To)
+	case EventScaleDown:
+		name = fmt.Sprintf("scale-down instance %d", e.From)
+	case EventMigrate:
+		name = fmt.Sprintf("migrate stream %d -> %d", e.StreamID, e.To)
 	}
 	tr.Instant(name, "cluster", inst, e.At)
-}
-
-// pick selects the admission target: spare live instances first (by the
-// paper's T-YOLO-rate signal), then fewest active streams. Returns -1
-// when every instance is dead.
-func (c *Cluster) pick(snaps []pipeline.Snapshot) int {
-	best, bestScore := -1, int(1<<30)
-	for i := range c.instances {
-		if c.failed[i] {
-			continue
-		}
-		score := c.counts[i] * 10
-		if c.overloaded(snaps[i]) {
-			score += 1000
-		}
-		if snaps[i].TYoloRate >= c.cfg.SpareTYRate {
-			score += 100
-		}
-		if score < bestScore {
-			best, bestScore = i, score
-		}
-	}
-	return best
 }
 
 // overloaded combines three snapshot signals: blocked ingest, a deep
@@ -338,7 +524,10 @@ func (c *Cluster) overloaded(sn pipeline.Snapshot) bool {
 	return sn.Overloaded && sn.WorstBacklog > c.cfg.BacklogThreshold/3
 }
 
-// manage is the combined admission + overload-monitor process.
+// manage is the control-plane loop: one consistent observation per
+// tick, then — in order — failure detection, completion tracking,
+// admission, overload re-forwarding, elastic scaling, and rebalance
+// migrations.
 func (c *Cluster) manage() {
 	clk := c.cfg.Clock
 	next := 0
@@ -354,19 +543,21 @@ func (c *Cluster) manage() {
 		// arrivals nor count as a re-forward target this tick.
 		if c.cfg.HeartbeatEvery > 0 && c.cfg.FailTimeout > 0 {
 			for i, inst := range c.instances {
-				if !c.failed[i] && clk.Now()-inst.Heartbeat() > c.cfg.FailTimeout {
-					c.fail(i)
+				if !c.failed[i] && !c.retired[i] && clk.Now()-inst.Heartbeat() > c.cfg.FailTimeout {
+					c.fail(i, snaps)
 				}
 			}
 		}
+		// Completion tracking: a finished stream frees its instance slot
+		// and its tenant's quota.
+		c.trackCompletions(snaps)
 		// Admit any due arrivals.
 		for next < len(c.arrivals) && c.arrivals[next].At <= clk.Now() {
 			a := c.arrivals[next]
-			idx := c.pick(snaps)
-			if idx < 0 {
-				// Every instance is dead: drop the arrival rather than
-				// wedging admission (degrade, don't die).
-				next++
+			next++
+			idx, why := c.sch.Admit(a.ID, a.Tenant, c.view(snaps))
+			if why != sched.RejectNone {
+				c.reject(a, why)
 				continue
 			}
 			spec := a.Make(c.tgs[idx])
@@ -377,7 +568,6 @@ func (c *Cluster) manage() {
 			c.specs[a.ID] = spec
 			c.counts[idx]++
 			c.record(Event{Kind: EventAdmit, At: clk.Now(), StreamID: a.ID, From: -1, To: idx})
-			next++
 			// A burst must not share one stale view: the admission just
 			// made shifts the load signals, so re-observe before placing
 			// the next same-tick arrival.
@@ -387,7 +577,7 @@ func (c *Cluster) manage() {
 		}
 		// Overload monitoring and re-forwarding.
 		for i := range c.instances {
-			if c.failed[i] {
+			if c.failed[i] || c.retired[i] {
 				continue
 			}
 			if !c.overloaded(snaps[i]) {
@@ -396,12 +586,17 @@ func (c *Cluster) manage() {
 			}
 			c.over[i]++
 			if c.over[i] >= c.cfg.OverloadChecks && c.counts[i] > 1 {
-				if target := c.leastLoadedExcept(snaps, i); target >= 0 {
-					c.reforward(i, target)
-					c.over[i] = 0
+				if id, to := c.sch.Victim(i, c.view(snaps)); id >= 0 {
+					if c.continueStream(id, i, to, EventReforward) {
+						c.counts[i]--
+						c.over[i] = 0
+					}
 				}
 			}
 		}
+		// Elastic scaling and post-membership-change rebalancing.
+		c.elastic(snaps)
+		c.rebalance(snaps)
 		// Deferred detector cleanups whose fragments have drained.
 		c.processUnregs(c.observe())
 		// Sleep to the next decision point.
@@ -414,70 +609,185 @@ func (c *Cluster) manage() {
 		}
 		clk.Sleep(wake - clk.Now())
 	}
-	for _, inst := range c.instances {
-		inst.Release()
+	for i, inst := range c.instances {
+		if !c.retired[i] {
+			inst.Release()
+		}
 	}
 	c.managerDone.Store(true)
 }
 
-// leastLoadedExcept returns the least-loaded live non-overloaded
-// instance other than skip, or -1.
-func (c *Cluster) leastLoadedExcept(snaps []pipeline.Snapshot, skip int) int {
-	best, bestCount := -1, int(1<<30)
-	for i := range c.instances {
-		if i == skip || c.failed[i] || c.overloaded(snaps[i]) {
-			continue
-		}
-		if c.counts[i] < bestCount {
-			best, bestCount = i, c.counts[i]
-		}
+// reject records a refused arrival: a typed rejection, a manager
+// event, and the stream's whole frame budget charged to the
+// DropAdmission ledger (the frames were offered and never ingested
+// anywhere — without the charge they would silently vanish from
+// cluster-wide conservation).
+func (c *Cluster) reject(a Arrival, why sched.RejectReason) {
+	now := c.cfg.Clock.Now()
+	c.rejections = append(c.rejections, Rejection{
+		At: now, StreamID: a.ID, Tenant: a.Tenant, Frames: a.Frames, Reason: why,
+	})
+	c.drops[pipeline.DropAdmission] += int64(a.Frames)
+	note := why.String()
+	if a.Tenant != "" {
+		note = fmt.Sprintf("tenant %q: %s", a.Tenant, why)
 	}
-	return best
+	c.record(Event{Kind: EventReject, At: now, StreamID: a.ID, From: -1, To: -1, Note: note})
 }
 
-// pickLive returns the least-loaded live instance other than skip, or
-// -1 when none survives. Failure recovery uses it: unlike admission it
-// ignores overload — a loaded instance beats a dead one.
-func (c *Cluster) pickLive(skip int) int {
-	best, bestCount := -1, int(1<<30)
-	for i := range c.instances {
-		if i == skip || c.failed[i] {
-			continue
-		}
-		if c.counts[i] < bestCount {
-			best, bestCount = i, c.counts[i]
+// trackCompletions marks streams whose final fragment has ingested and
+// decided every frame, releasing their instance slot and quota. The
+// ownership map keeps the entry (reports and detector-state checks
+// read it); done excludes the stream from scheduling.
+func (c *Cluster) trackCompletions(snaps []pipeline.Snapshot) {
+	ids := make([]int, 0, len(c.loc))
+	for id := range c.loc {
+		if !c.done[id] {
+			ids = append(ids, id)
 		}
 	}
-	return best
+	sort.Ints(ids)
+	for _, id := range ids {
+		inst := c.loc[id]
+		if inst >= len(snaps) {
+			continue
+		}
+		// A crashed instance also shows IngestDone (its ingest loops
+		// broke) with every frame drained — but its streams are not
+		// finished, they are waiting for failure detection to recover
+		// them. Never count completions there.
+		if snaps[inst].Crashed || c.failed[inst] {
+			continue
+		}
+		if streamFinished(snaps[inst], id) {
+			c.done[id] = true
+			c.counts[inst]--
+			c.sch.Done(id)
+		}
+	}
+}
+
+// streamFinished reports whether stream id has fully completed on the
+// instance: every fragment has decided all ingested frames, none is
+// still ingesting, and at least one ran its source dry (a stopped
+// fragment with frames remaining means the stream continued elsewhere).
+func streamFinished(sn pipeline.Snapshot, id int) bool {
+	ingestDone := false
+	found := false
+	for _, ss := range sn.Streams {
+		if ss.ID != id {
+			continue
+		}
+		found = true
+		if ss.Decided < ss.Ingested {
+			return false
+		}
+		if !ss.Stopped && !ss.IngestDone {
+			return false
+		}
+		if ss.IngestDone {
+			ingestDone = true
+		}
+	}
+	return found && ingestDone
+}
+
+// elastic applies the scheduler's scale decision: grow the fleet under
+// sustained cluster-wide overload, retire a long-empty instance above
+// the floor. Either way the membership change opens the rebalance
+// window.
+func (c *Cluster) elastic(snaps []pipeline.Snapshot) {
+	if c.cfg.Elastic.Max <= 0 {
+		return
+	}
+	grow, retire := c.sch.Elastic(c.view(snaps))
+	if grow {
+		c.addInstance()
+		return
+	}
+	if retire >= 0 && retire < len(c.instances) &&
+		c.counts[retire] == 0 && !c.failed[retire] && !c.retired[retire] {
+		c.retire(retire)
+	}
+}
+
+// addInstance elastically appends and starts a new instance.
+func (c *Cluster) addInstance() int {
+	i := len(c.instances)
+	c.newInstance(i)
+	c.instances[i].Hold()
+	c.instances[i].Start()
+	now := c.cfg.Clock.Now()
+	c.rebalanceUntil = now + rebalanceWindow*c.cfg.CheckEvery
+	c.record(Event{Kind: EventScaleUp, At: now, StreamID: -1, From: -1, To: i})
+	return i
+}
+
+// retire elastically shuts down an empty instance: its hold is
+// released, so its stages drain and its heartbeat stops; failure
+// detection and placement both skip it from here on.
+func (c *Cluster) retire(i int) {
+	c.retired[i] = true
+	c.over[i] = 0
+	c.instances[i].Release()
+	now := c.cfg.Clock.Now()
+	c.rebalanceUntil = now + rebalanceWindow*c.cfg.CheckEvery
+	c.record(Event{Kind: EventScaleDown, At: now, StreamID: -1, From: i, To: -1})
+}
+
+// rebalance applies the placement policy's proposed migrations during
+// the post-membership-change window, bounded per tick.
+func (c *Cluster) rebalance(snaps []pipeline.Snapshot) {
+	if c.cfg.Clock.Now() >= c.rebalanceUntil {
+		return
+	}
+	moves := c.sch.Rebalance(c.view(snaps), true, migratePerTick)
+	for _, m := range moves {
+		if c.done[m.Stream] || c.loc[m.Stream] != m.From {
+			continue
+		}
+		if m.To < 0 || m.To >= len(c.instances) || c.failed[m.To] || c.retired[m.To] {
+			continue
+		}
+		if c.continueStream(m.Stream, m.From, m.To, EventMigrate) {
+			c.counts[m.From]--
+		}
+	}
 }
 
 // fail declares instance i dead and recovers every one of its streams:
 // each is stopped (the crashed instance's ledger keeps its in-flight
 // frames, draining them to DropError) and its remainder re-forwarded to
-// a live instance via the continuation machinery. With no live instance
-// left the remainders are abandoned — the cluster degrades instead of
-// wedging.
-func (c *Cluster) fail(i int) {
+// the placement policy's recovery target via the continuation
+// machinery. With no live instance left the remainders are abandoned —
+// the cluster degrades instead of wedging.
+func (c *Cluster) fail(i int, snaps []pipeline.Snapshot) {
 	c.failed[i] = true
 	c.over[i] = 0
-	c.record(Event{Kind: EventFail, At: c.cfg.Clock.Now(), StreamID: -1, From: i, To: -1})
+	now := c.cfg.Clock.Now()
+	c.rebalanceUntil = now + rebalanceWindow*c.cfg.CheckEvery
+	c.record(Event{Kind: EventFail, At: now, StreamID: -1, From: i, To: -1})
 	var ids []int
 	for id, inst := range c.loc {
-		if inst == i {
+		if inst == i && !c.done[id] {
 			ids = append(ids, id)
 		}
 	}
 	sort.Ints(ids)
 	for _, id := range ids {
 		c.counts[i]--
-		to := c.pickLive(i)
+		// Recovery rebuilds the view per stream: each continuation
+		// shifts the survivors' counts, and the policy should see it.
+		to := c.sch.Recover(id, i, c.view(snaps))
 		if to < 0 {
 			c.instances[i].StopStream(id)
-			delete(c.loc, id)
+			c.done[id] = true
+			c.sch.Done(id)
 			continue
 		}
 		if !c.continueStream(id, i, to, EventRecover) {
-			delete(c.loc, id)
+			c.done[id] = true
+			c.sch.Done(id)
 		}
 	}
 }
@@ -516,35 +826,15 @@ func fragmentsDrained(sn pipeline.Snapshot, id int) bool {
 	return true
 }
 
-// reforward migrates the most recently admitted stream of instance from
-// to instance to, continuing at the next frame boundary.
-func (c *Cluster) reforward(from, to int) {
-	// Most recent stream on the overloaded instance.
-	var victim = -1
-	var victimAt time.Duration = -1
-	for _, e := range c.events {
-		if e.Kind == EventAdmit || e.Kind == EventReforward || e.Kind == EventRecover {
-			if e.To == from && e.At >= victimAt && c.loc[e.StreamID] == from {
-				victim, victimAt = e.StreamID, e.At
-			}
-		}
-	}
-	if victim < 0 {
-		return
-	}
-	if c.continueStream(victim, from, to, EventReforward) {
-		c.counts[from]--
-	}
-}
-
 // continueStream stops stream victim on instance from and re-forwards
 // its remainder to instance to, rebinding the counting filter to the
 // target's shared T-YOLO and carrying the background model across. It
-// is shared by overload re-forwarding and failure recovery and reports
-// whether a continuation was created. The caller owns counts[from]
-// (reforward decrements it on success; fail decrements unconditionally
-// — the stream has left the dead instance either way); counts[to] and
-// the location/spec maps are updated here.
+// is shared by overload re-forwarding, failure recovery, and rebalance
+// migration, and reports whether a continuation was created. The caller
+// owns counts[from] (re-forward and migration decrement it on success;
+// fail decrements unconditionally — the stream has left the dead
+// instance either way); counts[to] and the location/spec maps are
+// updated here.
 func (c *Cluster) continueStream(victim, from, to int, kind EventKind) bool {
 	remaining, src, nextSeq, ok := c.instances[from].StopStream(victim)
 	if !ok || remaining <= 0 {
@@ -573,6 +863,7 @@ func (c *Cluster) continueStream(victim, from, to int, kind EventKind) bool {
 	c.loc[victim] = to
 	c.specs[victim] = cont
 	c.counts[to]++
+	c.sch.Moved(victim, c.cfg.Clock.Now())
 	c.record(Event{Kind: kind, At: c.cfg.Clock.Now(), StreamID: victim, From: from, To: to})
 	return true
 }
@@ -584,6 +875,14 @@ type Report struct {
 	// StreamFrames sums decided frames per original stream id across
 	// instance fragments.
 	StreamFrames map[int]int64
+	// Rejections lists every arrival refused admission, with the frame
+	// budget charged to DropAdmission on its behalf.
+	Rejections []Rejection
+	// Drops is the cluster-wide disposition ledger: every instance's
+	// per-stream counts summed, plus DropAdmission charges for rejected
+	// arrivals. When nothing is lost outside the pipelines, the total
+	// equals the frames offered to the cluster.
+	Drops [pipeline.NumDispositions]int64
 	// Realtime reports whether every fragment held its schedule.
 	Realtime bool
 	// Cancelled marks a run stopped early by context cancellation; the
@@ -601,7 +900,7 @@ func (c *Cluster) report() *Report {
 	}
 	c.unregs = nil
 	r := &Report{Events: c.events, StreamFrames: make(map[int]int64), Realtime: true,
-		Cancelled: c.cancelled.Load()}
+		Rejections: c.rejections, Drops: c.drops, Cancelled: c.cancelled.Load()}
 	for _, inst := range c.instances {
 		ir := inst.Report()
 		r.Instances = append(r.Instances, ir)
@@ -613,6 +912,9 @@ func (c *Cluster) report() *Report {
 				}
 			}
 			r.StreamFrames[sr.ID] += done
+			for d, n := range sr.Counts {
+				r.Drops[d] += n
+			}
 			if sr.IngestLag > 500*time.Millisecond {
 				r.Realtime = false
 			}
@@ -621,46 +923,49 @@ func (c *Cluster) report() *Report {
 	return r
 }
 
-// Admissions counts admit events, for tests and summaries.
-func (r *Report) Admissions() int {
+// countEvents tallies events of one kind.
+func (r *Report) countEvents(kind EventKind) int {
 	n := 0
 	for _, e := range r.Events {
-		if e.Kind == EventAdmit {
+		if e.Kind == kind {
 			n++
 		}
 	}
 	return n
 }
 
-// Reforwards counts re-forward events.
-func (r *Report) Reforwards() int {
-	n := 0
-	for _, e := range r.Events {
-		if e.Kind == EventReforward {
-			n++
-		}
-	}
-	return n
-}
+// Admissions counts admit events, for tests and summaries.
+func (r *Report) Admissions() int { return r.countEvents(EventAdmit) }
+
+// Reforwards counts overload re-forward events.
+func (r *Report) Reforwards() int { return r.countEvents(EventReforward) }
 
 // Failures counts instances declared dead by failure detection.
-func (r *Report) Failures() int {
-	n := 0
-	for _, e := range r.Events {
-		if e.Kind == EventFail {
-			n++
-		}
-	}
-	return n
-}
+func (r *Report) Failures() int { return r.countEvents(EventFail) }
 
 // Recoveries counts streams re-forwarded off dead instances.
-func (r *Report) Recoveries() int {
-	n := 0
-	for _, e := range r.Events {
-		if e.Kind == EventRecover {
-			n++
-		}
+func (r *Report) Recoveries() int { return r.countEvents(EventRecover) }
+
+// Rejects counts arrivals refused admission.
+func (r *Report) Rejects() int { return r.countEvents(EventReject) }
+
+// Migrations counts rebalance migrations (scheduler-decided moves, as
+// opposed to overload re-forwards).
+func (r *Report) Migrations() int { return r.countEvents(EventMigrate) }
+
+// ScaleUps counts elastically added instances.
+func (r *Report) ScaleUps() int { return r.countEvents(EventScaleUp) }
+
+// ScaleDowns counts elastically retired instances.
+func (r *Report) ScaleDowns() int { return r.countEvents(EventScaleDown) }
+
+// EventLog renders the full scheduler event stream, one event per
+// line. Two runs of an identical seeded configuration must produce
+// byte-identical logs — the determinism tests compare exactly this.
+func (r *Report) EventLog() string {
+	lines := make([]string, len(r.Events))
+	for i, e := range r.Events {
+		lines[i] = e.String()
 	}
-	return n
+	return strings.Join(lines, "\n")
 }

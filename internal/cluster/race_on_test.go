@@ -1,0 +1,8 @@
+//go:build race
+
+package cluster
+
+// raceDetectorOn lets the heaviest tests shrink their per-stream work
+// under the race detector (which serializes the cooperative virtual
+// clock's context switches) while keeping their concurrency shape.
+const raceDetectorOn = true

@@ -1,0 +1,176 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Validation sentinels, re-exported through the public facade; branch
+// on them with errors.Is.
+var (
+	// ErrBadPlacement marks an unknown placement policy or a negative
+	// ring-replica count.
+	ErrBadPlacement = errors.New("sched: bad placement config")
+	// ErrBadQuota marks a negative stream quota.
+	ErrBadQuota = errors.New("sched: bad quota config")
+	// ErrBadElastic marks inconsistent elastic instance bounds.
+	ErrBadElastic = errors.New("sched: bad elastic config")
+)
+
+// Placement policy names for PlacementConfig.Policy.
+const (
+	// PolicyLeastLoad places each stream on the live instance with the
+	// best spare-capacity score and re-forwards the most recently placed
+	// stream off an overloaded instance. It is the default.
+	PolicyLeastLoad = "least-load"
+	// PolicyHash places streams by consistent hashing over stream IDs:
+	// placement is stable under instance add/remove (only streams whose
+	// ring owner changed move), at the price of ignoring load at
+	// admission time.
+	PolicyHash = "hash"
+)
+
+// defaultHashReplicas is the virtual-node count per instance on the
+// consistent-hash ring; enough to keep the per-instance share within a
+// few percent of even at cluster sizes this repo runs.
+const defaultHashReplicas = 64
+
+// PlacementConfig selects and parameterizes the placement policy.
+type PlacementConfig struct {
+	// Policy is PolicyLeastLoad or PolicyHash; empty means PolicyLeastLoad.
+	Policy string
+	// HashReplicas is the virtual-node count per instance for PolicyHash;
+	// 0 means 64.
+	HashReplicas int
+}
+
+// Validate checks the placement config.
+func (c PlacementConfig) Validate() error {
+	switch c.Policy {
+	case "", PolicyLeastLoad, PolicyHash:
+	default:
+		return fmt.Errorf("%w: unknown policy %q (want %q or %q)",
+			ErrBadPlacement, c.Policy, PolicyLeastLoad, PolicyHash)
+	}
+	if c.HashReplicas < 0 {
+		return fmt.Errorf("%w: HashReplicas must not be negative, have %d",
+			ErrBadPlacement, c.HashReplicas)
+	}
+	return nil
+}
+
+// build constructs the configured policy.
+func (c PlacementConfig) build() (Placement, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	switch c.Policy {
+	case PolicyHash:
+		reps := c.HashReplicas
+		if reps == 0 {
+			reps = defaultHashReplicas
+		}
+		return &ConsistentHash{Replicas: reps}, nil
+	default:
+		return &LeastLoad{}, nil
+	}
+}
+
+// QuotaConfig bounds admission. The zero value admits everything.
+type QuotaConfig struct {
+	// MaxStreams caps concurrently active streams cluster-wide;
+	// 0 means unlimited.
+	MaxStreams int
+	// PerTenant caps concurrently active streams per tenant name;
+	// tenants absent from the map fall back to DefaultTenant.
+	PerTenant map[string]int
+	// DefaultTenant is the cap for tenants not listed in PerTenant;
+	// 0 means unlimited.
+	DefaultTenant int
+}
+
+// Validate checks the quota config.
+func (c QuotaConfig) Validate() error {
+	if c.MaxStreams < 0 {
+		return fmt.Errorf("%w: MaxStreams must not be negative, have %d", ErrBadQuota, c.MaxStreams)
+	}
+	if c.DefaultTenant < 0 {
+		return fmt.Errorf("%w: DefaultTenant must not be negative, have %d", ErrBadQuota, c.DefaultTenant)
+	}
+	for tenant, n := range c.PerTenant {
+		if n < 0 {
+			return fmt.Errorf("%w: tenant %q quota must not be negative, have %d", ErrBadQuota, tenant, n)
+		}
+	}
+	return nil
+}
+
+// limit returns the tenant's effective cap (0 = unlimited).
+func (c QuotaConfig) limit(tenant string) int {
+	if n, ok := c.PerTenant[tenant]; ok {
+		return n
+	}
+	return c.DefaultTenant
+}
+
+// ElasticConfig drives instance scale-up/down. The zero value (Max 0)
+// disables elasticity: the cluster keeps its initial instance count.
+type ElasticConfig struct {
+	// Max is the instance-count ceiling; 0 disables elastic scaling.
+	Max int
+	// Min is the instance-count floor for scale-down; values below 1
+	// mean 1 (the cluster never scales to zero).
+	Min int
+	// ScaleUpAfter is how long every live instance must stay overloaded
+	// before an instance is added; 0 means 3s.
+	ScaleUpAfter time.Duration
+	// ScaleDownAfter is how long an instance must stay empty before it
+	// is retired; 0 means 10s.
+	ScaleDownAfter time.Duration
+}
+
+// Elastic defaults, applied when the respective field is zero.
+const (
+	defaultScaleUpAfter   = 3 * time.Second
+	defaultScaleDownAfter = 10 * time.Second
+)
+
+// Validate checks the elastic config.
+func (c ElasticConfig) Validate() error {
+	if c.Max < 0 || c.Min < 0 {
+		return fmt.Errorf("%w: bounds must not be negative, have Min=%d Max=%d", ErrBadElastic, c.Min, c.Max)
+	}
+	if c.Max > 0 && c.Min > c.Max {
+		return fmt.Errorf("%w: Min %d exceeds Max %d", ErrBadElastic, c.Min, c.Max)
+	}
+	if c.ScaleUpAfter < 0 || c.ScaleDownAfter < 0 {
+		return fmt.Errorf("%w: scale delays must not be negative, have up=%v down=%v",
+			ErrBadElastic, c.ScaleUpAfter, c.ScaleDownAfter)
+	}
+	return nil
+}
+
+// floor is the effective minimum live-instance count.
+func (c ElasticConfig) floor() int {
+	if c.Min < 1 {
+		return 1
+	}
+	return c.Min
+}
+
+// upAfter is ScaleUpAfter with its default applied.
+func (c ElasticConfig) upAfter() time.Duration {
+	if c.ScaleUpAfter == 0 {
+		return defaultScaleUpAfter
+	}
+	return c.ScaleUpAfter
+}
+
+// downAfter is ScaleDownAfter with its default applied.
+func (c ElasticConfig) downAfter() time.Duration {
+	if c.ScaleDownAfter == 0 {
+		return defaultScaleDownAfter
+	}
+	return c.ScaleDownAfter
+}

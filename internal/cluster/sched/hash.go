@@ -1,0 +1,154 @@
+package sched
+
+import "sort"
+
+// ConsistentHash places streams by consistent hashing over stream IDs:
+// each live instance contributes Replicas virtual nodes to a hash ring
+// and a stream lives on the first node clockwise of its own hash. The
+// property bought is stability — when an instance joins or leaves, only
+// the streams whose ring owner changed move, and no stream moves
+// between two instances that were both present before and after — at
+// the price of ignoring load at admission time. Overload relief and
+// failures fall back to ring successors, and Rebalance sends displaced
+// streams home once membership settles, restoring the hash invariant
+// (and with it, e.g., cache affinity of per-stream state).
+type ConsistentHash struct {
+	// Replicas is the virtual-node count per instance.
+	Replicas int
+}
+
+// Name returns the policy's config string.
+func (*ConsistentHash) Name() string { return PolicyHash }
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-mixed,
+// deterministic 64-bit hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// streamKey hashes a stream ID onto the ring. The salt separates the
+// stream keyspace from the virtual-node keyspace.
+func streamKey(id int) uint64 { return splitmix64(uint64(id) ^ 0x5f3c9d1b2e4a6078) }
+
+// nodeKey hashes virtual node k of instance inst onto the ring.
+func nodeKey(inst, k int) uint64 { return splitmix64(uint64(inst)<<24 | uint64(k)) }
+
+// ringEntry is one virtual node.
+type ringEntry struct {
+	hash uint64
+	inst int
+}
+
+// ring builds the sorted ring over the live instances that pass keep
+// (nil keeps all live instances).
+func (h *ConsistentHash) ring(v *View, keep func(Instance) bool) []ringEntry {
+	var r []ringEntry
+	for _, in := range v.Instances {
+		if !in.Live || (keep != nil && !keep(in)) {
+			continue
+		}
+		for k := 0; k < h.Replicas; k++ {
+			r = append(r, ringEntry{hash: nodeKey(in.Index, k), inst: in.Index})
+		}
+	}
+	sort.Slice(r, func(i, j int) bool {
+		if r[i].hash != r[j].hash {
+			return r[i].hash < r[j].hash
+		}
+		return r[i].inst < r[j].inst
+	})
+	return r
+}
+
+// owner returns the ring owner of stream id, or -1 on an empty ring.
+func owner(r []ringEntry, id int) int {
+	if len(r) == 0 {
+		return -1
+	}
+	key := streamKey(id)
+	i := sort.Search(len(r), func(i int) bool { return r[i].hash >= key })
+	if i == len(r) {
+		i = 0
+	}
+	return r[i].inst
+}
+
+// Place puts the stream on its ring owner among live instances.
+func (h *ConsistentHash) Place(id int, v *View) int {
+	return owner(h.ring(v, nil), id)
+}
+
+// Victim relieves an overloaded instance while disturbing the hash
+// mapping as little as possible: first choice is the newest movable
+// "guest" — a stream whose ring home is elsewhere, live, and not
+// overloaded — which simply goes home. Failing that, the newest movable
+// stream moves to its owner on the ring restricted to live
+// non-overloaded instances other than inst, so a future Rebalance has a
+// stable home to return it to.
+func (h *ConsistentHash) Victim(inst int, v *View) (int, int) {
+	full := h.ring(v, nil)
+	overloadedAt := make(map[int]bool, len(v.Instances))
+	for _, in := range v.Instances {
+		overloadedAt[in.Index] = in.Overloaded
+	}
+	for i := len(v.Streams) - 1; i >= 0; i-- {
+		st := v.Streams[i]
+		if st.Instance != inst || !st.Movable {
+			continue
+		}
+		if home := owner(full, st.ID); home != inst && home >= 0 && !overloadedAt[home] {
+			return st.ID, home
+		}
+	}
+	spare := h.ring(v, func(in Instance) bool { return in.Index != inst && !in.Overloaded })
+	for i := len(v.Streams) - 1; i >= 0; i-- {
+		st := v.Streams[i]
+		if st.Instance != inst || !st.Movable {
+			continue
+		}
+		if to := owner(spare, st.ID); to >= 0 {
+			return st.ID, to
+		}
+	}
+	return -1, -1
+}
+
+// Recover continues the stream on its owner over the ring without the
+// dead instance — the successor property makes recovery targets stable
+// too. Overloaded instances stay in this ring: a loaded instance beats
+// a dead one.
+func (h *ConsistentHash) Recover(id, from int, v *View) int {
+	return owner(h.ring(v, func(in Instance) bool { return in.Index != from }), id)
+}
+
+// Rebalance sends guests home after membership changes: every movable
+// stream living away from its ring owner moves back, provided the owner
+// is live and not overloaded, up to budget moves per call. In steady
+// state (changed false) it proposes nothing.
+func (h *ConsistentHash) Rebalance(v *View, changed bool, budget int) []Move {
+	if !changed {
+		return nil
+	}
+	full := h.ring(v, nil)
+	overloadedAt := make(map[int]bool, len(v.Instances))
+	for _, in := range v.Instances {
+		overloadedAt[in.Index] = in.Overloaded
+	}
+	var moves []Move
+	for _, st := range v.Streams {
+		if len(moves) >= budget {
+			break
+		}
+		if !st.Movable {
+			continue
+		}
+		home := owner(full, st.ID)
+		if home >= 0 && home != st.Instance && !overloadedAt[home] {
+			moves = append(moves, Move{Stream: st.ID, From: st.Instance, To: home})
+		}
+	}
+	return moves
+}

@@ -1,0 +1,117 @@
+package sched
+
+// LeastLoad is the default placement policy, preserving the manager's
+// original behaviour behind the Placement interface.
+//
+// Place scores every live instance — active streams ×10, +1000 when
+// overloaded, +100 when the shared T-YOLO rate has no spare capacity —
+// and takes the lowest score (lowest index on ties): spare live
+// instances first, per the paper's §4.3 admission signal, then fewest
+// streams.
+//
+// Victim implements the documented default re-forward choice: the most
+// recently placed movable stream of the overloaded instance. Recency is
+// the right default because the newest stream has the least per-stream
+// state amortized on its instance (background model, SNM batch
+// residency) and, under arrival bursts, is the stream most likely to
+// have caused the overload. The target is the least-loaded live
+// non-overloaded instance.
+type LeastLoad struct{}
+
+// Name returns the policy's config string.
+func (*LeastLoad) Name() string { return PolicyLeastLoad }
+
+// Place scores live instances and returns the best, or -1.
+func (*LeastLoad) Place(id int, v *View) int {
+	best, bestScore := -1, int(1<<30)
+	for _, in := range v.Instances {
+		if !in.Live {
+			continue
+		}
+		score := in.Streams * 10
+		if in.Overloaded {
+			score += 1000
+		}
+		if !in.Spare {
+			score += 100
+		}
+		if score < bestScore {
+			best, bestScore = in.Index, score
+		}
+	}
+	return best
+}
+
+// Victim picks the most recently placed movable stream on inst and the
+// least-loaded live non-overloaded instance as its target.
+func (*LeastLoad) Victim(inst int, v *View) (int, int) {
+	target := leastLoadedExcept(v, inst, true)
+	if target < 0 {
+		return -1, -1
+	}
+	// v.Streams is (PlacedAt, ID)-ascending: the tail is the newest.
+	for i := len(v.Streams) - 1; i >= 0; i-- {
+		if st := v.Streams[i]; st.Instance == inst && st.Movable {
+			return st.ID, target
+		}
+	}
+	return -1, -1
+}
+
+// Recover sends the stream to the least-loaded live instance,
+// overloaded or not — a loaded instance beats a dead one.
+func (*LeastLoad) Recover(id, from int, v *View) int {
+	return leastLoadedExcept(v, from, false)
+}
+
+// Rebalance levels stream counts after membership changes: while the
+// fullest live instance holds at least two streams more than the
+// emptiest live non-overloaded one, it moves the fullest instance's
+// newest movable stream over. In steady state (changed false) it
+// proposes nothing — overload re-forwarding handles hot spots, and
+// count-levelling for its own sake would churn.
+func (*LeastLoad) Rebalance(v *View, changed bool, budget int) []Move {
+	if !changed {
+		return nil
+	}
+	streams := make(map[int]int, len(v.Instances))
+	for _, in := range v.Instances {
+		if in.Live {
+			streams[in.Index] = in.Streams
+		}
+	}
+	moved := make(map[int]bool)
+	var moves []Move
+	for len(moves) < budget {
+		hi, hiN, lo, loN := -1, -1, -1, int(1<<30)
+		for _, in := range v.Instances {
+			if !in.Live {
+				continue
+			}
+			if n := streams[in.Index]; n > hiN {
+				hi, hiN = in.Index, n
+			}
+			if n := streams[in.Index]; n < loN && !in.Overloaded {
+				lo, loN = in.Index, n
+			}
+		}
+		if hi < 0 || lo < 0 || hi == lo || hiN-loN < 2 {
+			break
+		}
+		victim := -1
+		for i := len(v.Streams) - 1; i >= 0; i-- {
+			if st := v.Streams[i]; st.Instance == hi && st.Movable && !moved[st.ID] {
+				victim = st.ID
+				break
+			}
+		}
+		if victim < 0 {
+			break
+		}
+		moved[victim] = true
+		moves = append(moves, Move{Stream: victim, From: hi, To: lo})
+		streams[hi]--
+		streams[lo]++
+	}
+	return moves
+}

@@ -17,19 +17,33 @@ import (
 var ErrBadInstances = errors.New("core: Instances must be positive")
 
 // ClusterConfig describes a multi-instance run assembled from the same
-// workload description as a single-instance Config. Streams arrive one
-// by one and the cluster manager places each on the instance with spare
-// capacity, re-forwarding streams off overloaded instances (§4.3).
+// workload description as a single-instance Config, plus the control
+// plane: placement policy, tenant quotas, and elastic instance bounds.
+// Streams arrive one by one; the scheduler admits each under the quotas
+// and places it by the configured policy, re-forwarding streams off
+// overloaded instances (§4.3) and growing or shrinking the fleet when
+// elasticity is enabled.
 type ClusterConfig struct {
 	// Config is the shared workload description. Mode is forced Online:
 	// the multi-instance manager's signals (ingest lag, capture backlog)
 	// only exist under online pacing.
 	Config
-	// Instances is the number of FFS-VA instances (one server each).
+	// Instances is the initial number of FFS-VA instances (one server
+	// each); Elastic can grow and shrink the fleet from there.
 	Instances int
 	// ArrivalEvery staggers stream admissions; 0 admits everything at
 	// the start.
 	ArrivalEvery time.Duration
+	// Tuning holds the control-plane knobs — promoted, so callers write
+	// cfg.Placement.Policy, cfg.Quotas.PerTenant, cfg.Elastic.Max, and
+	// so on. Zero knobs take the cluster defaults (cluster.DefaultTuning,
+	// the single source of truth); the zero sub-configs mean least-load
+	// placement, no quotas, no elasticity.
+	cluster.Tuning
+	// Tenants attributes the minted streams to tenant names for quota
+	// accounting, round-robin: stream i belongs to Tenants[i%len].
+	// Empty means every stream belongs to the unnamed default tenant.
+	Tenants []string
 }
 
 // DefaultClusterConfig returns a two-instance configuration over the
@@ -38,10 +52,17 @@ func DefaultClusterConfig() ClusterConfig {
 	cfg := DefaultConfig()
 	cfg.Mode = pipeline.Online
 	cfg.Streams = 4
-	return ClusterConfig{Config: cfg, Instances: 2, ArrivalEvery: 2 * time.Second}
+	return ClusterConfig{
+		Config:       cfg,
+		Instances:    2,
+		ArrivalEvery: 2 * time.Second,
+		Tuning:       cluster.DefaultTuning(),
+	}
 }
 
-// Validate extends Config.Validate with the cluster fields.
+// Validate extends Config.Validate with the cluster fields; the
+// control-plane sub-configs surface their own sentinels
+// (ErrBadPlacement, ErrBadQuota, ErrBadElastic).
 func (c ClusterConfig) Validate() error {
 	if err := c.Config.Validate(); err != nil {
 		return err
@@ -52,7 +73,7 @@ func (c ClusterConfig) Validate() error {
 	if c.ArrivalEvery < 0 {
 		return fmt.Errorf("core: ArrivalEvery must not be negative, have %v", c.ArrivalEvery)
 	}
-	return nil
+	return c.Tuning.Validate()
 }
 
 // RunCluster trains the workload's camera models, spreads the
@@ -93,6 +114,7 @@ func RunClusterContext(ctx context.Context, cfg ClusterConfig) (*cluster.Report,
 		clk = vclock.NewReal()
 	}
 	ccfg := cluster.DefaultConfig(clk, cfg.Instances)
+	ccfg.Tuning = cfg.Tuning.WithDefaults()
 	ccfg.Pipeline.BatchPolicy = cfg.BatchPolicy
 	if cfg.BatchSize > 0 {
 		ccfg.Pipeline.BatchSize = cfg.BatchSize
@@ -112,9 +134,15 @@ func RunClusterContext(ctx context.Context, cfg ClusterConfig) (*cluster.Report,
 	arrivals := make([]cluster.Arrival, cfg.Streams)
 	for i := 0; i < cfg.Streams; i++ {
 		i := i
+		tenant := ""
+		if len(cfg.Tenants) > 0 {
+			tenant = cfg.Tenants[i%len(cfg.Tenants)]
+		}
 		arrivals[i] = cluster.Arrival{
-			At: time.Duration(i) * cfg.ArrivalEvery,
-			ID: i,
+			At:     time.Duration(i) * cfg.ArrivalEvery,
+			ID:     i,
+			Tenant: tenant,
+			Frames: cfg.FramesPerStream,
 			Make: func(tg *detect.TinyGrid) pipeline.StreamSpec {
 				return cam.Stream(i, tg, lab.StreamOptions{
 					Seed:            streamSeed(cfg.Seed, i),

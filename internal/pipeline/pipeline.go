@@ -98,9 +98,16 @@ const (
 	// Config.ShedAfter exceeded and the capture buffer full, ingest sheds
 	// instead of stalling, preserving the ≥30 FPS capture guarantee.
 	DropShed
+	// DropAdmission marks a frame rejected before ingest: the cluster
+	// scheduler refused the whole stream (tenant quota exhausted, cluster
+	// quota exhausted, or no live instance), so its entire frame budget is
+	// charged here. No pipeline ever sees these frames — the cluster
+	// report's Drops ledger carries them, keeping cluster-wide frame
+	// conservation (admitted + rejected = offered) checkable.
+	DropAdmission
 
 	// NumDispositions sizes per-disposition count arrays.
-	NumDispositions = 7
+	NumDispositions = 8
 )
 
 // String names the disposition.
@@ -118,6 +125,8 @@ func (d Disposition) String() string {
 		return "drop-error"
 	case DropShed:
 		return "drop-shed"
+	case DropAdmission:
+		return "drop-admission"
 	default:
 		return "detected"
 	}

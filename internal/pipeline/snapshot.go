@@ -265,9 +265,10 @@ func (sn Snapshot) String() string {
 	}
 	fmt.Fprintf(&b, "\n  signals: t-yolo=%.1ffps lag=%v backlog=%d overloaded=%v",
 		sn.TYoloRate, sn.WorstLag.Round(time.Millisecond), sn.WorstBacklog, sn.Overloaded)
-	fmt.Fprintf(&b, "\n  drops: sdd=%d snm=%d t-yolo=%d detected=%d closed=%d error=%d shed=%d orphaned=%d",
+	fmt.Fprintf(&b, "\n  drops: sdd=%d snm=%d t-yolo=%d detected=%d closed=%d error=%d shed=%d admission=%d orphaned=%d",
 		sn.Drops[DropSDD], sn.Drops[DropSNM], sn.Drops[DropTYolo],
-		sn.Drops[Detected], sn.Drops[DropClosed], sn.Drops[DropError], sn.Drops[DropShed], sn.Orphaned)
+		sn.Drops[Detected], sn.Drops[DropClosed], sn.Drops[DropError],
+		sn.Drops[DropShed], sn.Drops[DropAdmission], sn.Orphaned)
 	fmt.Fprintf(&b, "\n  snm batches: n=%d mean=%.1f max=%d", sn.SNMBatchCount, sn.SNMBatchMean, sn.SNMBatchMax)
 	b.WriteString("\n  devices:")
 	for _, d := range sn.Devices {
