@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint fmt-check test race ci bench bench-gate bench-all bench-trace bench-cluster trace-smoke
+.PHONY: all build vet lint fmt-check test race ci bench bench-gate bench-all bench-trace bench-cluster bench-consolidate trace-smoke
 
 all: build
 
@@ -18,9 +18,10 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint runs ffslint — the repo's own five invariant analyzers (detnow,
-# putcheck, poolrelease, dispositions, spanend; see DESIGN.md §12) — plus
-# a gofmt cleanliness check. Zero unsuppressed diagnostics is the bar.
+# lint runs ffslint — the repo's own six invariant analyzers (detnow,
+# putcheck, poolrelease, dispositions, qconsume, spanend; see DESIGN.md
+# §12) — plus a gofmt cleanliness check. Zero unsuppressed diagnostics
+# is the bar.
 lint: fmt-check
 	$(GO) run ./cmd/ffslint ./...
 
@@ -50,6 +51,7 @@ ci:
 	$(MAKE) trace-smoke
 	$(MAKE) bench-gate
 	$(MAKE) bench-cluster
+	$(MAKE) bench-consolidate
 
 # trace-smoke proves the Perfetto export end to end: a quickstart run
 # with tracing on, structurally validated by the stdlib-only checker.
@@ -87,3 +89,12 @@ bench-trace:
 # small to spend the wall-clock on).
 bench-cluster:
 	$(GO) run ./cmd/ffsbench -only cluster -scale quick -gate
+
+# bench-consolidate sweeps the consolidated fleet past the committed
+# full-frame knee and measures the reference-bound tier (high TOR, GPU-1
+# saturated) with and without object-level consolidation, recording both
+# to BENCH_consolidate.json. -gate fails unless the consolidated fleet
+# sustains more streams than the BENCH_cluster.json baseline (skipped,
+# with an explicit marker, on single-core hosts).
+bench-consolidate:
+	$(GO) run ./cmd/ffsbench -only consolidate -scale quick -gate

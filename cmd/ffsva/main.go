@@ -7,6 +7,7 @@
 //	ffsva [-workload car|person] [-tor 0.1] [-streams 4] [-frames 1000]
 //	      [-mode offline|online] [-batch-policy dynamic|feedback|static]
 //	      [-batch 10] [-filter-degree 0.5] [-objects 1] [-tolerance 0]
+//	      [-consolidate] [-ref-conf 0.5]
 //	      [-real] [-metrics 1s] [-metrics-json]
 //	      [-instances 2] [-arrival-every 2s] [-placement least-load|hash]
 //	      [-tenants "acme=4,globex=2"] [-elastic-max 0]
@@ -20,6 +21,13 @@
 // the -placement policy, re-forwards streams off overloaded instances,
 // and — with -elastic-max above -instances — grows and shrinks the
 // fleet under sustained overload or idleness.
+//
+// -consolidate switches the reference tier to object-level
+// consolidation: T-YOLO's candidate boxes are cropped with padding and
+// shelf-packed across streams into fixed canvases, each canvas costing
+// one reference inference instead of one per frame (DESIGN.md §15).
+// -ref-conf sets the confidence threshold the reference tier applies
+// when counting target objects.
 //
 // -inject (repeatable) adds a fault to the injection plan:
 //
@@ -107,6 +115,8 @@ func main() {
 	flag.Float64Var(&cfg.FilterDegree, "filter-degree", 0.5, "SNM FilterDegree in [0,1]")
 	flag.IntVar(&cfg.NumberOfObjects, "objects", 1, "minimum target objects per event (NumberofObjects)")
 	flag.IntVar(&cfg.Tolerance, "tolerance", 0, "relaxation of the object-count threshold")
+	flag.Float64Var(&cfg.RefConf, "ref-conf", 0.5, "reference-model confidence threshold for object counting, in [0,1]")
+	flag.BoolVar(&cfg.Consolidate, "consolidate", false, "object-level consolidation: pack T-YOLO candidate crops from many streams into batched reference inferences")
 	real := flag.Bool("real", false, "run in real time instead of the virtual clock")
 	flag.Int64Var(&cfg.Seed, "seed", 1, "stream dynamics seed")
 	metricsEvery := flag.Duration("metrics", 0, "dump a pipeline snapshot to stderr every interval (0 disables)")

@@ -182,6 +182,7 @@ var (
 	ErrBadWorkload        = core.ErrBadWorkload
 	ErrBadTolerance       = core.ErrBadTolerance
 	ErrBadNumberOfObjects = core.ErrBadNumberOfObjects
+	ErrBadRefConf         = core.ErrBadRefConf
 	ErrBadInstances       = core.ErrBadInstances
 	ErrBadPlacement       = sched.ErrBadPlacement
 	ErrBadQuota           = sched.ErrBadQuota

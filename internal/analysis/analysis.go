@@ -1,6 +1,6 @@
 // Package analysis is ffslint's engine: a stdlib-only static-analysis
 // framework (go/parser + go/types + go/ast, no external modules) and the
-// five repo-specific analyzers that machine-check the pipeline's
+// six repo-specific analyzers that machine-check the pipeline's
 // invariants — the recurring single-frame state errors that break
 // FFS-VA's frame-conservation accounting and that PRs 1–3 each fixed by
 // hand:
@@ -13,6 +13,9 @@
 //     on all intra-function paths (the PR-3 leak bug class).
 //   - dispositions: the failure path of a frame Put must record a Drop*
 //     disposition or re-forward the frame (conservation).
+//   - qconsume:     a consumer loop must not continue past a dequeued
+//     frame without releasing, finishing, or re-forwarding it (the
+//     refStage orphan-leak bug class — the Get side of dispositions).
 //   - spanend:      every trace span handle reaches End/EndDrop or
 //     escapes on all paths (no silently truncated latency traces).
 //
@@ -79,6 +82,7 @@ func All() []*Analyzer {
 		PutCheck,
 		PoolRelease,
 		Dispositions,
+		QConsume,
 		SpanEnd,
 	}
 }

@@ -57,6 +57,28 @@ func queuePutCall(info *types.Info, call *ast.CallExpr) (method string, elem ast
 	return name, call.Args[0], true
 }
 
+// queueGetCall reports whether call is queue.Queue.Get or TryGet.
+func queueGetCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return false
+	}
+	name := sel.Sel.Name
+	if name != "Get" && name != "TryGet" {
+		return false
+	}
+	s, isMethod := info.Selections[sel]
+	if !isMethod || s.Kind() != types.MethodVal {
+		return false
+	}
+	named := namedOf(s.Recv())
+	if named == nil {
+		return false
+	}
+	obj := named.Origin().Obj()
+	return obj.Name() == "Queue" && obj.Pkg() != nil && pathIs(obj.Pkg().Path(), "internal/queue")
+}
+
 // namedOf unwraps pointers to reach a named type.
 func namedOf(t types.Type) *types.Named {
 	for {

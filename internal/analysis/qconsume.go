@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// QConsume audits the consumer side of the queue contract: once a loop
+// has dequeued a *frame.Frame (`f, ok := q.Get()`), every `continue`
+// that skips the rest of the iteration must first account for that
+// frame — release it, finish it with a disposition, or hand it off.
+// A branch that continues empty-handed (the refStage orphan bug class)
+// leaks the pooled pixel plane and leaves the frame's trace with no
+// terminal, which putcheck and dispositions cannot see because the loss
+// happens after the queue, not at a put.
+//
+// Two refinements keep the rule precise. First, a branch on the Get's
+// own ok result is the no-frame path and may continue freely. Second, a
+// continue only leaks when some later statement in the loop body still
+// uses the frame — if ownership was already transferred (a put, a
+// finish) before the branch, skipping the remainder abandons nothing.
+var QConsume = &Analyzer{
+	Name: "qconsume",
+	Doc:  "a consumer loop must not continue past a dequeued frame without releasing, finishing, or re-forwarding it",
+	Run:  runQConsume,
+}
+
+func runQConsume(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				body = n.Body
+			case *ast.RangeStmt:
+				body = n.Body
+			default:
+				return true
+			}
+			checkConsumerLoop(pass, body)
+			return true
+		})
+	}
+}
+
+// checkConsumerLoop finds the loop's dequeue (`f, ok := q.Get()` as a
+// direct child of the body) and audits every if statement after it for
+// a continue that abandons f.
+func checkConsumerLoop(pass *Pass, body *ast.BlockStmt) {
+	for i, stmt := range body.List {
+		fObj, okObj := queueGetAssign(pass, stmt)
+		if fObj == nil {
+			continue
+		}
+		rest := body.List[i+1:]
+		for j, st := range rest {
+			ifs, isIf := st.(*ast.IfStmt)
+			if !isIf {
+				continue
+			}
+			pos, leaks := leakyIf(pass, ifs, fObj, okObj)
+			if !leaks {
+				continue
+			}
+			// A continue only abandons the frame if the code it skips
+			// would still have handled it.
+			live := false
+			for _, later := range rest[j+1:] {
+				if usesObject(pass.Info, later, fObj) {
+					live = true
+					break
+				}
+			}
+			if live {
+				pass.Reportf(pos,
+					"continue abandons the dequeued frame %q: release it, finish it with a disposition (finishOrphan), or re-forward it before skipping the iteration", fObj.Name())
+			}
+		}
+		return // one dequeue per loop body is the audited shape
+	}
+}
+
+// leakyIf reports an unlabeled continue inside the if statement that is
+// reachable without the frame having been used on that path.
+func leakyIf(pass *Pass, s *ast.IfStmt, fObj, okObj types.Object) (token.Pos, bool) {
+	// Branching on the Get's ok result is the no-frame path: there is
+	// nothing to account for, so its continue is legitimate.
+	if okObj != nil && usesObject(pass.Info, s.Cond, okObj) {
+		return token.NoPos, false
+	}
+	if pos, ok := leakyArm(pass, s.Body.List, fObj, okObj); ok {
+		return pos, true
+	}
+	switch e := s.Else.(type) {
+	case *ast.BlockStmt:
+		return leakyArm(pass, e.List, fObj, okObj)
+	case *ast.IfStmt:
+		return leakyIf(pass, e, fObj, okObj)
+	}
+	return token.NoPos, false
+}
+
+// leakyArm scans one branch arm in order for an unlabeled continue
+// reachable before any statement that uses the frame on every path.
+func leakyArm(pass *Pass, stmts []ast.Stmt, fObj, okObj types.Object) (token.Pos, bool) {
+	used := false
+	for _, st := range stmts {
+		switch st := st.(type) {
+		case *ast.BranchStmt:
+			if st.Tok == token.CONTINUE && st.Label == nil && !used {
+				return st.Pos(), true
+			}
+		case *ast.IfStmt:
+			if !used {
+				if pos, ok := leakyIf(pass, st, fObj, okObj); ok {
+					return pos, true
+				}
+			}
+			// The frame counts as handled here only when every path
+			// through the nested branch touched it.
+			if ifUsesOnAllPaths(pass, st, fObj) {
+				used = true
+			}
+		case *ast.BlockStmt:
+			if !used {
+				if pos, ok := leakyArm(pass, st.List, fObj, okObj); ok {
+					return pos, true
+				}
+			}
+			if usesObject(pass.Info, st, fObj) {
+				used = true
+			}
+		case *ast.ForStmt, *ast.RangeStmt:
+			// A continue inside belongs to the inner loop, not to the
+			// consumer loop under audit.
+			if usesObject(pass.Info, st, fObj) {
+				used = true
+			}
+		default:
+			if usesObject(pass.Info, st, fObj) {
+				used = true
+			}
+		}
+	}
+	return token.NoPos, false
+}
+
+// ifUsesOnAllPaths reports whether both arms of an if statement use the
+// frame. The condition does not count — inspecting a field is not
+// handling the frame — and a missing else arm is a path that skipped it.
+// The one exception is a condition that puts the frame on a queue
+// (`if !q.Put(f) { ... }`): that is an ownership transfer on every
+// path, and its failure arm is dispositions' domain.
+func ifUsesOnAllPaths(pass *Pass, s *ast.IfStmt, fObj types.Object) bool {
+	if condForwardsFrame(pass, s.Cond, fObj) {
+		return true
+	}
+	if !usesObject(pass.Info, s.Body, fObj) {
+		return false
+	}
+	switch e := s.Else.(type) {
+	case *ast.BlockStmt:
+		return usesObject(pass.Info, e, fObj)
+	case *ast.IfStmt:
+		return ifUsesOnAllPaths(pass, e, fObj)
+	}
+	return false
+}
+
+// condForwardsFrame reports whether the condition itself transfers the
+// frame's ownership via a queue put.
+func condForwardsFrame(pass *Pass, cond ast.Expr, fObj types.Object) bool {
+	forwarded := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !forwarded
+		}
+		if _, elem, isPut := queuePutCall(pass.Info, call); isPut && usesObject(pass.Info, elem, fObj) {
+			forwarded = true
+		}
+		return !forwarded
+	})
+	return forwarded
+}
+
+// queueGetAssign matches the consumer idiom `f, ok := q.Get()` (or
+// TryGet) dequeuing a *frame.Frame, returning the frame and ok objects.
+func queueGetAssign(pass *Pass, stmt ast.Stmt) (fObj, okObj types.Object) {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 2 || len(as.Rhs) != 1 {
+		return nil, nil
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || !queueGetCall(pass.Info, call) {
+		return nil, nil
+	}
+	fID, ok1 := as.Lhs[0].(*ast.Ident)
+	okID, ok2 := as.Lhs[1].(*ast.Ident)
+	if !ok1 || !ok2 || fID.Name == "_" {
+		return nil, nil
+	}
+	fObj = pass.Info.Defs[fID]
+	if fObj == nil {
+		fObj = pass.Info.Uses[fID]
+	}
+	if fObj == nil || !isFrameType(fObj.Type()) {
+		return nil, nil
+	}
+	if okID.Name != "_" {
+		okObj = pass.Info.Defs[okID]
+		if okObj == nil {
+			okObj = pass.Info.Uses[okID]
+		}
+	}
+	return fObj, okObj
+}

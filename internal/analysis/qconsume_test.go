@@ -1,0 +1,13 @@
+package analysis
+
+import "testing"
+
+// TestQConsumeGolden proves qconsume fires on consumer loops whose
+// continue abandons a dequeued frame (the refStage orphan-leak class:
+// empty-handed skip, half-handled branch, condition-only inspection)
+// and stays silent when the frame is retired on every path, already
+// handed off, guarded by the Get's ok result, skipped by an inner
+// loop's continue, or suppressed.
+func TestQConsumeGolden(t *testing.T) {
+	golden(t, QConsume, "testdata/src/qconsume")
+}

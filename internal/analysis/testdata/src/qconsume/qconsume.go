@@ -1,0 +1,181 @@
+// Package qconsumefix seeds qconsume violations: consumer loops that
+// continue past a dequeued frame without retiring it, next to every
+// accepted shape — release, finishOrphan, hand-off, and the no-frame
+// ok guard.
+package qconsumefix
+
+import (
+	"ffsva/internal/frame"
+	"ffsva/internal/queue"
+)
+
+type sink struct{ orphans int }
+
+func (s *sink) finishOrphan(f *frame.Frame) {
+	s.orphans++
+	f.Release()
+}
+
+// badOrphanContinue is the refStage leak: an unresolvable frame is
+// skipped with no release and no trace terminal.
+func badOrphanContinue(q *queue.Queue[*frame.Frame], owned map[int]bool) {
+	for {
+		f, ok := q.Get()
+		if !ok {
+			break
+		}
+		if !owned[f.StreamID] {
+			continue // want `continue abandons the dequeued frame`
+		}
+		f.Release()
+	}
+}
+
+// badHalfHandled leaks on the unhandled path: the frame is released
+// under one sub-condition but the branch continues either way.
+func badHalfHandled(q *queue.Queue[*frame.Frame], crashed bool, owned map[int]bool) {
+	for {
+		f, ok := q.Get()
+		if !ok {
+			break
+		}
+		if crashed {
+			if owned[f.StreamID] {
+				f.Release()
+			}
+			continue // want `continue abandons the dequeued frame`
+		}
+		f.Release()
+	}
+}
+
+// badCondOnlyUse inspects a frame field in the condition, which is not
+// handling the frame.
+func badCondOnlyUse(q *queue.Queue[*frame.Frame]) {
+	for {
+		f, ok := q.Get()
+		if !ok {
+			break
+		}
+		if f.Seq < 0 {
+			continue // want `continue abandons the dequeued frame`
+		}
+		f.Release()
+	}
+}
+
+// goodOkGuard continues on the Get's own ok result: the no-frame path
+// carries nothing to account for.
+func goodOkGuard(q *queue.Queue[*frame.Frame], work *int) {
+	for *work > 0 {
+		f, ok := q.TryGet()
+		if !ok {
+			continue
+		}
+		f.Release()
+		*work--
+	}
+}
+
+// goodFinishOrphan retires the unresolvable frame before skipping it.
+func goodFinishOrphan(q *queue.Queue[*frame.Frame], s *sink, owned map[int]bool) {
+	for {
+		f, ok := q.Get()
+		if !ok {
+			break
+		}
+		if !owned[f.StreamID] {
+			s.finishOrphan(f)
+			continue
+		}
+		f.Release()
+	}
+}
+
+// goodBothArms handles the frame on every path through the branch
+// before the continue.
+func goodBothArms(q *queue.Queue[*frame.Frame], s *sink, crashed bool, owned map[int]bool) {
+	for {
+		f, ok := q.Get()
+		if !ok {
+			break
+		}
+		if crashed {
+			if owned[f.StreamID] {
+				f.Release()
+			} else {
+				s.finishOrphan(f)
+			}
+			continue
+		}
+		f.Release()
+	}
+}
+
+// goodHandoff transferred ownership before the branch: the continue
+// skips nothing that still touches the frame.
+func goodHandoff(q, out *queue.Queue[*frame.Frame], stats *int) {
+	for {
+		f, ok := q.Get()
+		if !ok {
+			break
+		}
+		if !out.Put(f) {
+			f.Release()
+		}
+		if *stats > 10 {
+			continue
+		}
+		*stats++
+	}
+}
+
+// goodPutInCond transfers ownership inside the branch condition itself
+// (the bypass idiom): success hands the frame downstream, and the
+// failure arm is dispositions' domain.
+func goodPutInCond(q, next *queue.Queue[*frame.Frame], s *sink, bypass bool) {
+	for {
+		f, ok := q.Get()
+		if !ok {
+			break
+		}
+		if bypass {
+			if !next.Put(f) {
+				s.finishOrphan(f)
+			}
+			continue
+		}
+		f.Release()
+	}
+}
+
+// goodInnerLoop: a continue inside a nested loop belongs to that loop,
+// not to the consumer loop under audit.
+func goodInnerLoop(q *queue.Queue[*frame.Frame], ns []int) {
+	for {
+		f, ok := q.Get()
+		if !ok {
+			break
+		}
+		for _, n := range ns {
+			if n == 0 {
+				continue
+			}
+		}
+		f.Release()
+	}
+}
+
+// suppressed documents an accepted empty-handed continue.
+func suppressed(q *queue.Queue[*frame.Frame], owned map[int]bool) {
+	for {
+		f, ok := q.Get()
+		if !ok {
+			break
+		}
+		if !owned[f.StreamID] {
+			continue //lint:allow qconsume fixture demonstrates a reasoned suppression
+		}
+		f.Release()
+	}
+}

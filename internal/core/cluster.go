@@ -121,6 +121,8 @@ func RunClusterContext(ctx context.Context, cfg ClusterConfig) (*cluster.Report,
 	}
 	ccfg.Pipeline.ChargeCosts = cfg.ChargeCosts
 	ccfg.Pipeline.ShedAfter = cfg.ShedAfter
+	ccfg.Pipeline.RefConf = cfg.RefConf
+	ccfg.Pipeline.Consolidate = cfg.Consolidate
 	ccfg.Faults = cfg.Faults
 	ccfg.Tracer = cfg.Trace
 	ccfg.OnSnapshot = cfg.OnSnapshot

@@ -52,6 +52,16 @@ type Config struct {
 	NumberOfObjects int
 	// Tolerance relaxes T-YOLO's count threshold (§5.3.3).
 	Tolerance int
+	// RefConf is the confidence threshold the reference tier applies
+	// when counting target objects, in [0, 1]; zero means the default
+	// 0.5. Promoted to configuration so the consolidation ablation can
+	// sweep it.
+	RefConf float64
+	// Consolidate enables object-level consolidation of the reference
+	// tier (Rivas et al.): T-YOLO's candidate boxes are cropped and
+	// shelf-packed across streams into fixed canvases, and each canvas
+	// costs one reference inference instead of one per frame.
+	Consolidate bool
 
 	// Virtual selects the deterministic virtual clock (default); false
 	// runs in real time with the same modeled service times.
@@ -107,6 +117,7 @@ func DefaultConfig() Config {
 		BatchSize:       10,
 		FilterDegree:    0.5,
 		NumberOfObjects: 1,
+		RefConf:         0.5,
 		Virtual:         true,
 		ChargeCosts:     true,
 		Seed:            1,
@@ -176,6 +187,8 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	pcfg.ChargeCosts = cfg.ChargeCosts
 	pcfg.ShedAfter = cfg.ShedAfter
 	pcfg.Tracer = cfg.Trace
+	pcfg.RefConf = cfg.RefConf
+	pcfg.Consolidate = cfg.Consolidate
 
 	// A single-instance run treats every planned fault as instance 0's.
 	var inj *faults.Injector

@@ -28,6 +28,9 @@ var (
 	// ErrBadNumberOfObjects marks a negative event-intensity threshold
 	// (zero means "use the default of 1").
 	ErrBadNumberOfObjects = errors.New("core: NumberOfObjects must not be negative")
+	// ErrBadRefConf marks a reference-count confidence threshold outside
+	// [0, 1] (zero means "use the default of 0.5").
+	ErrBadRefConf = errors.New("core: RefConf must be in [0, 1]")
 )
 
 // Validate checks a configuration before any model training or stream
@@ -58,6 +61,9 @@ func (c Config) Validate() error {
 	}
 	if c.NumberOfObjects < 0 {
 		return fmt.Errorf("%w, have %d", ErrBadNumberOfObjects, c.NumberOfObjects)
+	}
+	if c.RefConf < 0 || c.RefConf > 1 {
+		return fmt.Errorf("%w, have %v", ErrBadRefConf, c.RefConf)
 	}
 	return nil
 }

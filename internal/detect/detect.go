@@ -124,6 +124,12 @@ func (t *TinyGrid) Unregister(streamID int) {
 	t.mu.Unlock()
 }
 
+// InputSize returns the square side the detector resizes frames to
+// before detecting: its Detection boxes are at this scale, not the
+// frame's. Consumers that need frame coordinates (the reference tier's
+// crop-and-pack consolidation) rescale with it.
+func (t *TinyGrid) InputSize() int { return t.cfg.InputSize }
+
 // Registered reports whether a background model is held for the stream.
 func (t *TinyGrid) Registered(streamID int) bool {
 	t.mu.Lock()

@@ -55,6 +55,10 @@ const (
 	// ModelSpill is the storage transfer of one frame to or from the
 	// spill store (§5.5 burst remedy).
 	ModelSpill
+	// ModelPack is the CPU-side crop-and-pack of one candidate box onto
+	// a consolidation canvas (object-level consolidation of the
+	// reference tier).
+	ModelPack
 )
 
 // String names the model.
@@ -72,6 +76,8 @@ func (m Model) String() string {
 		return "yolov2"
 	case ModelSpill:
 		return "spill"
+	case ModelPack:
+		return "pack"
 	default:
 		return "none"
 	}
@@ -112,6 +118,9 @@ func Calibrated() CostModel {
 		ModelSNM:    {PerFrame: 200 * time.Microsecond, Activate: 4000 * time.Microsecond, Resize: 150 * time.Microsecond, Memory: 200 << 10},
 		ModelTYolo:  {PerFrame: 4500 * time.Microsecond, Activate: 600 * time.Microsecond, Resize: 400 * time.Microsecond, Memory: 1200 << 20},
 		ModelRef:    {PerFrame: 14900 * time.Microsecond, Activate: 0, Memory: 1700 << 20},
+		// One crop's copy into a canvas: a memcpy of a few tens of KB
+		// plus packer bookkeeping, far below any inference charge.
+		ModelPack: {PerFrame: 50 * time.Microsecond},
 	}
 }
 

@@ -492,11 +492,51 @@ func (t *TYolo) LastCount() int { return t.lastCount }
 
 // Process implements Filter.
 func (t *TYolo) Process(f *frame.Frame) Verdict {
+	v, _ := t.ProcessCands(f)
+	return v
+}
+
+// ProcessCands is Process with the candidate-box side channel: alongside
+// the verdict it returns the detector's target-class candidates scaled
+// to frame coordinates, ready for the reference tier's crop-and-pack
+// consolidation. Detectors working at a reduced resolution advertise it
+// via an `InputSize() int` method (detect.TinyGrid does); their boxes
+// are rescaled, others are taken as frame-scale already.
+func (t *TYolo) ProcessCands(f *frame.Frame) (Verdict, []frame.Candidate) {
 	t.stats.Processed++
-	t.lastCount = detect.Count(t.Det.Detect(f), t.Target, ConfThresh)
+	dets := t.Det.Detect(f)
+	t.lastCount = detect.Count(dets, t.Target, ConfThresh)
+	var cands []frame.Candidate
+	sx, sy := 1.0, 1.0
+	if sized, ok := t.Det.(interface{ InputSize() int }); ok {
+		if in := sized.InputSize(); in > 0 {
+			sx = float64(f.W) / float64(in)
+			sy = float64(f.H) / float64(in)
+		}
+	}
+	for _, d := range dets {
+		if d.Class != t.Target || d.Conf < ConfThresh {
+			continue
+		}
+		c := frame.Candidate{
+			X:     int(float64(d.Box.X) * sx),
+			Y:     int(float64(d.Box.Y) * sy),
+			W:     int(float64(d.Box.W)*sx + 0.5),
+			H:     int(float64(d.Box.H)*sy + 0.5),
+			Class: t.Target,
+			Conf:  d.Conf,
+		}
+		if c.W < 1 {
+			c.W = 1
+		}
+		if c.H < 1 {
+			c.H = 1
+		}
+		cands = append(cands, c)
+	}
 	if t.lastCount >= t.EffectiveThreshold() {
 		t.stats.Passed++
-		return Pass
+		return Pass, cands
 	}
-	return Drop
+	return Drop, cands
 }

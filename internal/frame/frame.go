@@ -7,6 +7,7 @@ package frame
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ffsva/internal/trace"
@@ -74,6 +75,41 @@ type Box struct {
 // Area returns the box area in pixels.
 func (b Box) Area() int { return b.W * b.H }
 
+// Candidate is one detector proposal carried alongside a frame through
+// the tail of the cascade: T-YOLO's candidate boxes, scaled to frame
+// coordinates, feed the reference tier's object-level consolidation
+// (crop-and-pack). It lives here rather than in detect so the pipeline
+// and imgproc can consume it without an import cycle.
+type Candidate struct {
+	X, Y, W, H int
+	Class      Class
+	Conf       float64
+}
+
+// Rect clamps the candidate box, grown by pad on every side, to the
+// given frame bounds. A candidate that clamps to an empty rectangle
+// returns ok=false.
+func (c Candidate) Rect(pad, frameW, frameH int) (x, y, w, h int, ok bool) {
+	x0, y0 := c.X-pad, c.Y-pad
+	x1, y1 := c.X+c.W+pad, c.Y+c.H+pad
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > frameW {
+		x1 = frameW
+	}
+	if y1 > frameH {
+		y1 = frameH
+	}
+	if x1 <= x0 || y1 <= y0 {
+		return 0, 0, 0, 0, false
+	}
+	return x0, y0, x1 - x0, y1 - y0, true
+}
+
 // Annotation is ground truth attached to synthetic frames. It is consumed
 // only by the reference-model oracle, the trainer, and accuracy
 // accounting — never by the filters under test.
@@ -125,6 +161,10 @@ type Frame struct {
 	// common case) costs each instrumented stage one pointer check. The
 	// pipeline's terminal point hands it back to the tracer.
 	Trace *trace.FrameTrace
+	// Cands are T-YOLO's candidate boxes in frame coordinates, attached
+	// only to frames that pass the third filter when the reference tier
+	// runs in consolidation mode; nil otherwise.
+	Cands []Candidate
 	// pooled marks Pix as borrowed from the frame-buffer pool; Release
 	// returns it there.
 	pooled bool
@@ -140,6 +180,18 @@ func New(w, h int) *Frame {
 // steady-state frame generation allocation-free.
 var pixPool sync.Pool
 
+// poolGets and poolPuts count pooled-frame acquisitions and returns, so
+// tests can assert the get/put balance across a run: a frame path that
+// skips Release shows up as a persistent gets-puts surplus.
+var poolGets, poolPuts atomic.Int64
+
+// PoolStats returns the cumulative pooled-frame acquisition and return
+// counts. The pool is process-global, so callers compare deltas around
+// the region under test rather than absolute values.
+func PoolStats() (gets, puts int64) {
+	return poolGets.Load(), poolPuts.Load()
+}
+
 // NewPooled returns a frame whose pixel plane is borrowed from the
 // frame-buffer pool. The plane is NOT cleared — it holds whatever the
 // previous user left — so NewPooled is for producers that overwrite
@@ -149,6 +201,7 @@ var pixPool sync.Pool
 // final.
 func NewPooled(w, h int) *Frame {
 	n := w * h
+	poolGets.Add(1)
 	if v := pixPool.Get(); v != nil {
 		if pix := v.([]uint8); len(pix) == n {
 			return &Frame{W: w, H: h, Pix: pix, pooled: true}
@@ -167,6 +220,7 @@ func (f *Frame) Release() {
 	if f == nil || !f.pooled || f.Pix == nil {
 		return
 	}
+	poolPuts.Add(1)
 	pixPool.Put(f.Pix)
 	f.Pix = nil
 	f.pooled = false

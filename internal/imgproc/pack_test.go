@@ -1,0 +1,96 @@
+package imgproc
+
+import "testing"
+
+func TestPadRectClamps(t *testing.T) {
+	r, ok := PadRect(Rect{X: 2, Y: 3, W: 10, H: 10}, 4, 100, 100)
+	if !ok || r.X != 0 || r.Y != 0 || r.W != 16 || r.H != 17 {
+		t.Fatalf("padded rect = %+v ok=%v", r, ok)
+	}
+	if _, ok := PadRect(Rect{X: 200, Y: 200, W: 5, H: 5}, 2, 100, 100); ok {
+		t.Fatal("fully out-of-bounds rect should clamp to empty")
+	}
+}
+
+func TestShelfPackerPlacesInOrder(t *testing.T) {
+	p := NewShelfPacker(100, 100)
+	// First shelf: 40 + 40 wide fits, third 40 opens a new shelf.
+	cases := []struct {
+		w, h       int
+		wantX      int
+		wantY      int
+		wantPlaced bool
+	}{
+		{40, 20, 0, 0, true},
+		{40, 30, 40, 0, true},  // same shelf, grows it to 30
+		{40, 25, 0, 30, true},  // overflow: new shelf below the grown one
+		{100, 40, 0, 55, true}, // full-width item, third shelf
+		{10, 10, 0, 95, false}, // 95+10 > 100: does not fit
+	}
+	for i, c := range cases {
+		x, y, ok := p.Place(c.w, c.h)
+		if ok != c.wantPlaced {
+			t.Fatalf("item %d: placed=%v want %v", i, ok, c.wantPlaced)
+		}
+		if !ok {
+			continue
+		}
+		if x != c.wantX || y != c.wantY {
+			t.Fatalf("item %d: at (%d,%d), want (%d,%d)", i, x, y, c.wantX, c.wantY)
+		}
+	}
+}
+
+func TestShelfPackerRejectsOversize(t *testing.T) {
+	p := NewShelfPacker(50, 50)
+	if _, _, ok := p.Place(51, 10); ok {
+		t.Fatal("wider than canvas must not place")
+	}
+	if _, _, ok := p.Place(10, 51); ok {
+		t.Fatal("taller than canvas must not place")
+	}
+	if _, _, ok := p.Place(0, 5); ok {
+		t.Fatal("empty item must not place")
+	}
+}
+
+func TestCropIntoCopiesAndClips(t *testing.T) {
+	src := NewGray(8, 8)
+	for i := range src.Pix {
+		src.Pix[i] = uint8(i)
+	}
+	dst := NewGray(4, 4)
+	CropInto(dst, src, Rect{X: 2, Y: 2, W: 3, H: 3}, 1, 1)
+	if got := dst.At(1, 1); got != src.At(2, 2) {
+		t.Fatalf("corner: got %d want %d", got, src.At(2, 2))
+	}
+	if got := dst.At(3, 3); got != src.At(4, 4) {
+		t.Fatalf("far corner: got %d want %d", got, src.At(4, 4))
+	}
+	// Destination offset pushing past the canvas clips, never panics.
+	CropInto(dst, src, Rect{X: 0, Y: 0, W: 8, H: 8}, 2, 2)
+	if got := dst.At(3, 3); got != src.At(1, 1) {
+		t.Fatalf("clipped blit: got %d want %d", got, src.At(1, 1))
+	}
+	CropInto(dst, src, Rect{X: 0, Y: 0, W: 4, H: 4}, -2, -2)
+	if got := dst.At(0, 0); got != src.At(2, 2) {
+		t.Fatalf("negative offset clip: got %d want %d", got, src.At(2, 2))
+	}
+}
+
+func TestCoverFrac(t *testing.T) {
+	box := Rect{X: 10, Y: 10, W: 10, H: 10}
+	if f := CoverFrac(box, []Rect{{X: 10, Y: 10, W: 10, H: 10}}); f != 1 {
+		t.Fatalf("exact cover = %v, want 1", f)
+	}
+	if f := CoverFrac(box, []Rect{{X: 10, Y: 10, W: 5, H: 10}}); f != 0.5 {
+		t.Fatalf("half cover = %v, want 0.5", f)
+	}
+	// Two half-covering rects do NOT union: best single rect wins.
+	if f := CoverFrac(box, []Rect{{X: 10, Y: 10, W: 5, H: 10}, {X: 15, Y: 10, W: 5, H: 10}}); f != 0.5 {
+		t.Fatalf("split cover = %v, want 0.5 (no union)", f)
+	}
+	if f := CoverFrac(box, nil); f != 0 {
+		t.Fatalf("no rects = %v, want 0", f)
+	}
+}

@@ -166,6 +166,88 @@ func PersonCamera(tor float64) (*Camera, error) {
 	return &c, nil
 }
 
+// ConsolidationScore quantifies what object-level consolidation cost in
+// reference-tier fidelity: for every frame the reference stage decided,
+// the pipeline records both the consolidated count (over the packed
+// crops, truncation-adjusted) and the full-frame count. The score
+// aggregates their disagreement — crops that truncate or miss objects
+// surface as undercounts.
+type ConsolidationScore struct {
+	// Frames is the number of reference-decided frames with both counts
+	// measured.
+	Frames int64
+	// Exact counts frames where the consolidated tally matched the
+	// full-frame reference exactly.
+	Exact int64
+	// Under / Over count frames where consolidation counted fewer /
+	// more objects than the full-frame reference.
+	Under, Over int64
+	// LostObjects is the summed undercount — objects the full-frame
+	// reference found that the packed crops did not cover.
+	LostObjects int64
+	// MeanAbsDelta is the mean absolute per-frame count difference.
+	MeanAbsDelta float64
+}
+
+// ScoreConsolidation scores one stream's records; merge several streams
+// with Merge. Records without a full-frame measurement (frames dropped
+// before the reference tier, or runs without consolidation's dual
+// tally) are skipped.
+func ScoreConsolidation(records []pipeline.Record) ConsolidationScore {
+	var s ConsolidationScore
+	var absSum int64
+	for _, rec := range records {
+		if !rec.Done || rec.Disposition != pipeline.Detected || rec.RefFullCount < 0 || rec.RefCount < 0 {
+			continue
+		}
+		s.Frames++
+		delta := rec.RefCount - rec.RefFullCount
+		switch {
+		case delta == 0:
+			s.Exact++
+		case delta < 0:
+			s.Under++
+			s.LostObjects += int64(-delta)
+			absSum += int64(-delta)
+		default:
+			s.Over++
+			absSum += int64(delta)
+		}
+	}
+	if s.Frames > 0 {
+		s.MeanAbsDelta = float64(absSum) / float64(s.Frames)
+	}
+	return s
+}
+
+// Merge accumulates another stream's score into s.
+func (s *ConsolidationScore) Merge(b ConsolidationScore) {
+	total := s.MeanAbsDelta*float64(s.Frames) + b.MeanAbsDelta*float64(b.Frames)
+	s.Frames += b.Frames
+	s.Exact += b.Exact
+	s.Under += b.Under
+	s.Over += b.Over
+	s.LostObjects += b.LostObjects
+	if s.Frames > 0 {
+		s.MeanAbsDelta = total / float64(s.Frames)
+	}
+}
+
+// ExactRate is the fraction of scored frames where the consolidated
+// count agreed with the full-frame reference.
+func (s ConsolidationScore) ExactRate() float64 {
+	if s.Frames == 0 {
+		return 1
+	}
+	return float64(s.Exact) / float64(s.Frames)
+}
+
+// String renders the score summary.
+func (s ConsolidationScore) String() string {
+	return fmt.Sprintf("frames=%d exact=%d (%.2f%%) under=%d over=%d lost-objects=%d mean|Δ|=%.3f",
+		s.Frames, s.Exact, 100*s.ExactRate(), s.Under, s.Over, s.LostObjects, s.MeanAbsDelta)
+}
+
 // newZeroRand returns the deterministic source used when network
 // architecture must be rebuilt before loading saved weights.
 func newZeroRand() *rand.Rand { return rand.New(rand.NewSource(0)) }

@@ -150,8 +150,14 @@ type Record struct {
 	// target boxes, 0 when none.
 	MaxVisible float64
 	// RefCount is the reference model's target count for frames that
-	// reached it; -1 otherwise.
+	// reached it; -1 otherwise. Under consolidation this is the count
+	// over the packed crops (truncation-adjusted).
 	RefCount int
+	// RefFullCount is what a full-frame reference inference counts for
+	// the same frame; -1 when not measured. It differs from RefCount
+	// only under consolidation, where crops can truncate objects —
+	// lab.ScoreConsolidation reports the delta.
+	RefFullCount int
 }
 
 // Latency returns the frame's decision latency.
@@ -241,6 +247,38 @@ type Config struct {
 	CPUSlots int
 	// Ref is the reference model detector (shared).
 	Ref detect.Detector
+	// RefConf is the confidence threshold applied to the reference
+	// model's detections when counting target objects; zero means the
+	// default 0.5.
+	RefConf float64
+
+	// Object-level consolidation of the reference tier (Rivas et al.):
+	// instead of one full-frame reference inference per surviving frame,
+	// T-YOLO's candidate boxes are cropped with padding, shelf-packed
+	// into fixed canvases across streams, and each canvas costs one
+	// reference inference. See DESIGN.md §15.
+
+	// Consolidate turns crop-and-pack consolidation on.
+	Consolidate bool
+	// ConsolidateCanvas is the square canvas side in pixels (default
+	// 416, the YOLOv2 input).
+	ConsolidateCanvas int
+	// ConsolidatePad is the padding added around each candidate crop
+	// (default 8); padding recovers objects T-YOLO localized loosely.
+	ConsolidatePad int
+	// ConsolidateFrames bounds how many frames one consolidation round
+	// gathers from the reference queue (default 16).
+	ConsolidateFrames int
+	// ConsolidateWait is the deadline a partially-filled round waits for
+	// more frames before packing what it has (default 2ms of modeled
+	// time); zero-with-Consolidate uses the default, negative disables
+	// the top-up wait.
+	ConsolidateWait time.Duration
+	// ConsolidateMinCover is the fraction of a reference detection's box
+	// that must fall inside a single crop for the detection to count in
+	// the consolidated tally (default 0.7). Objects truncated by crop
+	// boundaries below it are the consolidation accuracy cost.
+	ConsolidateMinCover float64
 
 	// Fault tolerance.
 
@@ -344,6 +382,27 @@ func (c *Config) fill() {
 	case c.DecodeRetryBudget < 0:
 		c.DecodeRetryBudget = 0
 	}
+	if c.RefConf <= 0 {
+		c.RefConf = 0.5
+	}
+	if c.ConsolidateCanvas <= 0 {
+		c.ConsolidateCanvas = 416
+	}
+	if c.ConsolidatePad <= 0 {
+		c.ConsolidatePad = 8
+	}
+	if c.ConsolidateFrames <= 0 {
+		c.ConsolidateFrames = 16
+	}
+	switch {
+	case c.ConsolidateWait == 0:
+		c.ConsolidateWait = 2 * time.Millisecond
+	case c.ConsolidateWait < 0:
+		c.ConsolidateWait = 0
+	}
+	if c.ConsolidateMinCover <= 0 {
+		c.ConsolidateMinCover = 0.7
+	}
 }
 
 // streamState is the per-stream runtime.
@@ -401,6 +460,7 @@ type System struct {
 	ingestCtr *metrics.Counter        // frames_ingested_total
 	dispCtr   *metrics.LabeledCounter // frames_disposed_total{disposition}
 	orphanCtr *metrics.Counter        // frames_orphaned_total (no owning stream)
+	canvasCtr *metrics.Counter        // ref_canvases_total (consolidation canvases inferred)
 	snmBatch  *metrics.IntDist        // snm_batch_size
 	faultCtr  *metrics.Counter        // faults_injected_total
 	retryCtr  *metrics.Counter        // retries_total (decode retries)
@@ -458,6 +518,7 @@ func New(cfg Config, specs []StreamSpec) *System {
 		ingestCtr: reg.Counter("frames_ingested_total"),
 		dispCtr:   reg.LabeledCounter("frames_disposed_total"),
 		orphanCtr: reg.Counter("frames_orphaned_total"),
+		canvasCtr: reg.Counter("ref_canvases_total"),
 		snmBatch:  reg.IntDist("snm_batch_size"),
 		faultCtr:  reg.Counter("faults_injected_total"),
 		retryCtr:  reg.Counter("retries_total"),

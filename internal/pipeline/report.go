@@ -63,6 +63,12 @@ type Report struct {
 	// per-filter execution ratios.
 	StageProcessed [5]int64
 
+	// RefCanvases is how many consolidated canvases the reference model
+	// inferred (zero unless Config.Consolidate); RefCanvases /
+	// StageProcessed[4] is the consolidation ratio — the factor by which
+	// packing divided the reference tier's per-frame charge.
+	RefCanvases int64
+
 	// Realtime reports whether every stream kept its online capture
 	// schedule (worst ingest lag under half a second).
 	Realtime bool
@@ -158,6 +164,7 @@ func (s *System) Report() *Report {
 		r.Streams = append(r.Streams, sr)
 	}
 	r.StageProcessed[4] = s.refServed.Value()
+	r.RefCanvases = s.canvasCtr.Value()
 	if first < 0 {
 		first = 0
 	}

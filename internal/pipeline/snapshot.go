@@ -104,6 +104,9 @@ type Snapshot struct {
 	// Orphaned counts frames that reached the reference stage without an
 	// owning stream (should stay zero).
 	Orphaned int64 `json:"orphaned"`
+	// RefCanvases counts consolidated canvases sent to the reference
+	// model (zero unless Config.Consolidate).
+	RefCanvases int64 `json:"ref_canvases,omitempty"`
 
 	// Control signals (paper §4.3).
 	TYoloRate    float64       `json:"tyolo_fps"`
@@ -187,6 +190,7 @@ func (s *System) Snapshot() Snapshot {
 	}
 	sn.InFlight = sn.Ingested - sn.Decided
 	sn.Orphaned = s.orphanCtr.Value()
+	sn.RefCanvases = s.canvasCtr.Value()
 	sn.RefQ = qsnap(s.refQ.Name(), s.refQ.Stats())
 	sn.TYoloRate = s.tyMeter.Rate(now)
 	sn.SNMBatchCount = s.snmBatch.Count()

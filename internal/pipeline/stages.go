@@ -551,12 +551,24 @@ func (s *System) tyWorker(w int) {
 			// the batched device charge, the rest their own Process time.
 			prev := t0
 			for _, f := range batch {
-				verdict := st.spec.TYolo.Process(f)
+				var verdict filters.Verdict
+				if s.cfg.Consolidate {
+					// Consolidation needs T-YOLO's candidate boxes
+					// downstream: attach them to passing frames.
+					var cands []frame.Candidate
+					verdict, cands = st.spec.TYolo.ProcessCands(f)
+					if verdict == filters.Pass {
+						f.Cands = cands
+					}
+				} else {
+					verdict = st.spec.TYolo.Process(f)
+				}
 				now := clk.Now()
 				f.Trace.AddSpan(trace.KTYoloInfer, prev, now, gpuName, len(batch))
 				prev = now
 				if verdict == filters.Pass {
 					if !s.refQ.Put(f) {
+						f.Trace.MarkDrop()
 						s.finish(st, f, DropClosed, -1)
 					}
 				} else {
@@ -570,8 +582,23 @@ func (s *System) tyWorker(w int) {
 	s.tyDone()
 }
 
-// refStage is the reference model on its dedicated GPU-1.
+// refStage is the reference model on its dedicated GPU-1: per-frame
+// full-frame inference by default, the crop-and-pack consolidator
+// (consolidate.go) under Config.Consolidate.
 func (s *System) refStage() {
+	if s.cfg.Consolidate {
+		s.refConsolidatedLoop()
+	} else {
+		s.refLoop()
+	}
+	s.liveMu.Lock()
+	s.end = s.cfg.Clock.Now()
+	s.finished = true
+	s.liveMu.Unlock()
+}
+
+// refLoop is the classic per-frame reference path.
+func (s *System) refLoop() {
 	clk := s.cfg.Clock
 	for {
 		f, ok := s.refQ.Get()
@@ -582,32 +609,43 @@ func (s *System) refStage() {
 			if st := s.lookupStream(f.StreamID, f.Seq); st != nil {
 				s.finish(st, f, DropError, -1)
 			} else {
-				s.orphanCtr.Inc()
+				s.finishOrphan(f)
 			}
+			continue
+		}
+		// Resolve the stream before charging the device: an orphan costs
+		// no reference inference.
+		st := s.lookupStream(f.StreamID, f.Seq)
+		if st == nil {
+			s.finishOrphan(f)
 			continue
 		}
 		sp := f.Trace.StartSpan(trace.KRef, s.gpu1.Name, clk.Now())
 		if s.cfg.ChargeCosts {
 			s.gpu1.Use(device.ModelRef, 1, s.cfg.Costs)
 		}
-		st := s.lookupStream(f.StreamID, f.Seq)
-		if st == nil {
-			// A frame whose stream is unknown cannot be recorded; count it
-			// so Report's conservation check can explain the hole.
-			sp.EndDrop(clk.Now())
-			s.orphanCtr.Inc()
-			continue
-		}
 		dets := s.cfg.Ref.Detect(f)
 		sp.End(clk.Now())
-		count := detect.Count(dets, st.spec.Target, 0.5)
+		count := detect.Count(dets, st.spec.Target, s.cfg.RefConf)
 		s.refServed.Inc()
-		s.finish(st, f, Detected, count)
+		s.finishCounts(st, f, Detected, count, count)
 	}
-	s.liveMu.Lock()
-	s.end = s.cfg.Clock.Now()
-	s.finished = true
-	s.liveMu.Unlock()
+}
+
+// finishOrphan retires a frame that reached the reference stage with no
+// owning stream (its stream was retired or migrated with frames in
+// flight). There is no record slot to write, but the pooled pixel plane
+// must still be released and the trace must still reach the tracer's
+// terminal — skipping either leaks both for every orphan. The orphan
+// counter is the ledger entry that lets Report's conservation check
+// explain the hole.
+func (s *System) finishOrphan(f *frame.Frame) {
+	s.orphanCtr.Inc()
+	if ft := f.Trace; ft != nil {
+		f.Trace = nil
+		s.cfg.Tracer.Finish(ft, "orphaned", true, s.cfg.Clock.Now())
+	}
+	f.Release()
 }
 
 // Finished reports whether the reference stage has exited, i.e. no
@@ -620,14 +658,23 @@ func (s *System) Finished() bool {
 
 // finish records a frame's final disposition.
 func (s *System) finish(st *streamState, f *frame.Frame, d Disposition, refCount int) {
+	s.finishCounts(st, f, d, refCount, -1)
+}
+
+// finishCounts is finish with the reference tier's second tally: under
+// consolidation refCount is the truncation-adjusted count over the
+// packed crops and refFull the full-frame count, so accuracy accounting
+// can measure what cropping cost.
+func (s *System) finishCounts(st *streamState, f *frame.Frame, d Disposition, refCount, refFull int) {
 	rec := Record{
-		Done:        true,
-		Seq:         f.Seq,
-		Disposition: d,
-		Captured:    f.Captured,
-		Decided:     s.cfg.Clock.Now(),
-		TruthCount:  -1,
-		RefCount:    refCount,
+		Done:         true,
+		Seq:          f.Seq,
+		Disposition:  d,
+		Captured:     f.Captured,
+		Decided:      s.cfg.Clock.Now(),
+		TruthCount:   -1,
+		RefCount:     refCount,
+		RefFullCount: refFull,
 	}
 	if f.Truth != nil {
 		rec.TruthCount = f.Truth.TargetCount(st.spec.Target)
@@ -670,7 +717,7 @@ func (s *System) finishLost(st *streamState, seq int64, d Disposition) {
 	rec := Record{
 		Done: true, Seq: seq, Disposition: d,
 		Captured: now, Decided: now,
-		TruthCount: -1, RefCount: -1,
+		TruthCount: -1, RefCount: -1, RefFullCount: -1,
 	}
 	s.dispCtr.With(d.String()).Inc()
 	s.recMu.Lock()

@@ -44,15 +44,17 @@ const (
 	KWaitTYolo               // T-YOLO queue wait (threshold 2) incl. fair-share wait
 	KTYoloInfer              // shared T-YOLO service
 	KWaitRef                 // reference queue wait
+	KPack                    // consolidation: crop + shelf-pack onto canvases (CPU)
 	KRef                     // reference model service on gpu1
+	KUnpack                  // consolidation: translate canvas detections back per frame
 
 	// NumKinds sizes per-kind arrays.
-	NumKinds = 11
+	NumKinds = 13
 )
 
 var kindNames = [NumKinds]string{
 	"decode", "spill-wait", "sdd-wait", "sdd", "snm-wait", "snm-assemble",
-	"snm-infer", "t-yolo-wait", "t-yolo", "ref-wait", "ref",
+	"snm-infer", "t-yolo-wait", "t-yolo", "ref-wait", "ref-pack", "ref", "ref-unpack",
 }
 
 // String names the kind as it appears on trace tracks.
