@@ -12,6 +12,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 	"time"
 
 	"ffsva/internal/cluster"
@@ -76,8 +77,13 @@ func main() {
 			rj.StreamID, rj.Tenant, rj.Reason, rj.Frames)
 	}
 	fmt.Println("\nper-stream frames processed across instance fragments:")
-	for id, n := range rep.StreamFrames {
-		fmt.Printf("  stream %d: %d/900 frames\n", id, n)
+	ids := make([]int, 0, len(rep.StreamFrames))
+	for id := range rep.StreamFrames {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fmt.Printf("  stream %d: %d/900 frames\n", id, rep.StreamFrames[id])
 	}
 	for i, ir := range rep.Instances {
 		fmt.Printf("instance %d: %d frames, gpu1 %.0f%%\n", i, ir.TotalFrames, 100*ir.GPU1Util)

@@ -1,6 +1,6 @@
 // Package analysis is ffslint's engine: a stdlib-only static-analysis
 // framework (go/parser + go/types + go/ast, no external modules) and the
-// six repo-specific analyzers that machine-check the pipeline's
+// eight repo-specific analyzers that machine-check the pipeline's
 // invariants — the recurring single-frame state errors that break
 // FFS-VA's frame-conservation accounting and that PRs 1–3 each fixed by
 // hand:
@@ -18,6 +18,17 @@
 //     refStage orphan-leak bug class — the Get side of dispositions).
 //   - spanend:      every trace span handle reaches End/EndDrop or
 //     escapes on all paths (no silently truncated latency traces).
+//   - maporder:     no ranging over a map directly into a deterministic
+//     output (logs, exports, reports) — iterate sorted keys instead.
+//   - gostop:       every goroutine spawned in the pipeline packages is
+//     joinable: it must observe a stop channel, context, or WaitGroup.
+//
+// The path-sensitive analyzers additionally run *interprocedurally* when
+// a Program (see BuildProgram) is attached to the pass: call sites
+// consult per-function ownership summaries instead of assuming any call
+// that receives a resource is a safe escape. Unresolvable callees,
+// recursion, and depth-bounded chains fall back to the intra-function
+// heuristics and are reported via Program.Notes (ffslint -debug).
 //
 // Any diagnostic can be suppressed with a reasoned annotation on the
 // flagged line or the line above it:
@@ -43,6 +54,10 @@ type Pass struct {
 	PkgPath string
 	Pkg     *types.Package
 	Info    *types.Info
+	// Prog, when non-nil, switches the path-sensitive analyzers into
+	// interprocedural mode: ownership summaries replace the blanket
+	// escape-via-call assumption.
+	Prog *Program
 
 	diags *[]Diagnostic
 }
@@ -84,6 +99,8 @@ func All() []*Analyzer {
 		Dispositions,
 		QConsume,
 		SpanEnd,
+		MapOrder,
+		GoStop,
 	}
 }
 
@@ -97,11 +114,19 @@ func ByName(name string) *Analyzer {
 	return nil
 }
 
-// RunAnalyzers runs the given analyzers over the package and returns the
-// surviving diagnostics: suppressed ones are dropped, and malformed
-// suppression annotations become diagnostics of their own. Results are
-// sorted by position.
+// RunAnalyzers runs the given analyzers over the package (in the
+// original intra-function mode) and returns the surviving diagnostics:
+// suppressed ones are dropped, and malformed suppression annotations
+// become diagnostics of their own. Results are sorted by position.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return RunAnalyzersProgram(nil, pkg, analyzers)
+}
+
+// RunAnalyzersProgram is RunAnalyzers with an optional whole-module
+// Program attached: non-nil prog switches the path-sensitive analyzers
+// to interprocedural ownership summaries and lets maporder/gostop follow
+// writes and join mechanisms through module-internal calls.
+func RunAnalyzersProgram(prog *Program, pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var raw []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -111,6 +136,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			PkgPath:  pkg.Path,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			Prog:     prog,
 			diags:    &raw,
 		}
 		a.Run(pass)

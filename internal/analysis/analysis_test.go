@@ -18,6 +18,19 @@ func golden(t *testing.T, a *Analyzer, dir string) {
 	}
 }
 
+// goldenInterproc is golden in interprocedural mode (whole-module
+// Program attached, several analyzers at once).
+func goldenInterproc(t *testing.T, analyzers []*Analyzer, dir string) {
+	t.Helper()
+	fails, err := RunGoldenInterproc(analyzers, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fails {
+		t.Error(string(f))
+	}
+}
+
 // TestLoaderRepo proves the stdlib-only loader can type-check the whole
 // module — the exact configuration `make lint` runs under.
 func TestLoaderRepo(t *testing.T) {

@@ -239,6 +239,22 @@ func dispositionSinkCall(pass *Pass, call *ast.CallExpr) bool {
 	if _, _, ok := queuePutCall(pass.Info, call); ok {
 		return true
 	}
+	// Interprocedural: a call whose ownership summary proves it consumes a
+	// frame argument is a sink even when its name matches no heuristic.
+	if pass.Prog != nil {
+		if fn := calleeFunc(pass.Info, call); fn != nil {
+			if sum := pass.Prog.summaryFor(poolReleaseRules, fn, 0); sum != nil {
+				for i, a := range call.Args {
+					if t := pass.Info.TypeOf(a); t == nil || !isFrameType(t) {
+						continue
+					}
+					if ps, ok := sum.paramAt(i); ok && ps.Tracked && ps.Outcome == OutConsumed {
+						return true
+					}
+				}
+			}
+		}
+	}
 	var name, recv string
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:

@@ -28,6 +28,24 @@ type GoldenFailure string
 // the fixture's `// want "re"` comments. It returns one failure string
 // per mismatch; an empty slice means the golden contract holds.
 func RunGolden(a *Analyzer, dir string) ([]GoldenFailure, error) {
+	return goldenRun(dir, func(l *Loader, pkg *Package) []Diagnostic {
+		return RunAnalyzers(pkg, []*Analyzer{a})
+	})
+}
+
+// RunGoldenInterproc is RunGolden in interprocedural mode: it attaches
+// the whole-module Program (so ownership summaries work) and can run
+// several analyzers at once, since interproc fixtures typically carry
+// expectations for more than one of the path-sensitive checks.
+func RunGoldenInterproc(analyzers []*Analyzer, dir string) ([]GoldenFailure, error) {
+	return goldenRun(dir, func(l *Loader, pkg *Package) []Diagnostic {
+		return RunAnalyzersProgram(BuildProgram(l.All()), pkg, analyzers)
+	})
+}
+
+// goldenRun implements the load-run-match cycle shared by both harness
+// entry points.
+func goldenRun(dir string, run func(*Loader, *Package) []Diagnostic) ([]GoldenFailure, error) {
 	loader, err := NewLoader(".")
 	if err != nil {
 		return nil, err
@@ -51,7 +69,7 @@ func RunGolden(a *Analyzer, dir string) ([]GoldenFailure, error) {
 	if err != nil {
 		return nil, err
 	}
-	diags := RunAnalyzers(pkg, []*Analyzer{a})
+	diags := run(loader, pkg)
 
 	var fails []GoldenFailure
 	matched := map[*want]bool{}

@@ -121,6 +121,22 @@ func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
 	return nil
 }
 
+// isSyncPoolPut reports whether call is (*sync.Pool).Put: storing a
+// value there transfers ownership to the pool.
+func isSyncPoolPut(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != "Put" {
+		return false
+	}
+	recv := fn.Signature().Recv()
+	if recv == nil {
+		return false
+	}
+	named := namedOf(recv.Type())
+	return named != nil && named.Obj().Name() == "Pool" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync"
+}
+
 // usesObject reports whether any identifier inside n resolves to obj.
 func usesObject(info *types.Info, n ast.Node, obj types.Object) bool {
 	found := false

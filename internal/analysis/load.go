@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -137,6 +138,21 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	return pkgs, nil
 }
 
+// All returns every package the loader has seen so far (the requested
+// ones plus everything pulled in through module-internal imports),
+// sorted by import path. This is the package set BuildProgram wants:
+// ownership summaries routinely cross package boundaries.
+func (l *Loader) All() []*Package {
+	var out []*Package
+	for _, pkg := range l.pkgs {
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
 func (l *Loader) absDir(pat string) string {
 	if filepath.IsAbs(pat) {
 		return pat
@@ -215,6 +231,13 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 			continue
 		}
 		if strings.HasSuffix(n, "_test.go") && !l.IncludeTests {
+			continue
+		}
+		// Honor //go:build constraints and GOOS/GOARCH suffixes so that
+		// build-tag pairs (e.g. race_on_test.go / race_off_test.go) don't
+		// both load and collide. Errors fall through to "include": the
+		// type checker gives the better message.
+		if ok, err := build.Default.MatchFile(dir, n); err == nil && !ok {
 			continue
 		}
 		names = append(names, n)

@@ -31,7 +31,8 @@ var PoolRelease = &Analyzer{
 }
 
 // prRules parameterizes the live-value dataflow walker: what starts
-// tracking a value, which method calls retire it, and how a leak reads.
+// tracking a value, which method calls retire it, which parameter types
+// the interprocedural summaries follow, and how a leak reads.
 type prRules struct {
 	// acquire classifies a call as a tracked acquisition, returning a
 	// display name ("" otherwise).
@@ -41,18 +42,72 @@ type prRules struct {
 	// none; a span's End/EndDrop take the clock reading).
 	retire       map[string]bool
 	retireArgsOK bool
+	// tracked reports whether a parameter of type t is followed by the
+	// interprocedural ownership summaries under this rule set.
+	tracked func(t types.Type) bool
 	// noun/verb/advice shape the diagnostic:
 	//   "<noun> <what> %q is not <verb> on every path (leaks at %s); <advice>"
 	noun, verb, advice string
+
+	// summaryVariant caches the acquisition-free copy used while
+	// computing summaries (the summary walk seeds parameters, not
+	// acquisition calls, so local acquisitions inside the callee stay
+	// the per-function lint's business).
+	summaryVariant *prRules
+}
+
+// borrowForSummary returns the rule set with acquisitions disabled, for
+// the summary walk. The pointer identity of the parent rules is kept as
+// the memoization key, so summaries computed during a summary walk land
+// in the same table.
+func (r *prRules) borrowForSummary() *prRules {
+	if r.summaryVariant != nil {
+		return r.summaryVariant
+	}
+	v := *r
+	v.acquire = func(*types.Info, *ast.CallExpr) string { return "" }
+	v.summaryVariant = &v
+	r.summaryVariant = &v
+	return &v
 }
 
 var poolReleaseRules = &prRules{
 	acquire:      acquisitionName,
 	retire:       map[string]bool{"Release": true},
 	retireArgsOK: false,
+	tracked:      isPooledType,
 	noun:         "pooled",
 	verb:         "released",
 	advice:       "Release it, forward it, or lint:allow",
+}
+
+// isPooledType reports whether t is one of the pooled resource types the
+// frame-family summaries follow across calls: *frame.Frame, *nn.Tensor,
+// *imgproc.Gray, *trace.FrameTrace.
+func isPooledType(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Name() {
+	case "Frame":
+		return pathIs(obj.Pkg().Path(), "internal/frame")
+	case "Tensor":
+		return pathIs(obj.Pkg().Path(), "internal/nn")
+	case "Gray":
+		return pathIs(obj.Pkg().Path(), "internal/imgproc")
+	case "FrameTrace":
+		return pathIs(obj.Pkg().Path(), "internal/trace")
+	}
+	return false
 }
 
 // prAcq records where a live pooled value was acquired.
@@ -78,6 +133,49 @@ type prWalker struct {
 	rules    *prRules
 	reported map[types.Object]bool
 	bare     map[*ast.CallExpr]bool // acquisition calls consumed by tracking/escape
+
+	// prog enables interprocedural mode: call sites consult ownership
+	// summaries instead of relying solely on the name heuristics. nil
+	// keeps the original intra-function behaviour.
+	prog  *Program
+	depth int
+	// collect switches the walker into summary-computation mode: instead
+	// of reporting diagnostics, retire/escape/abandon events on the
+	// seeded objects are recorded into these flags.
+	collect map[types.Object]*outFlags
+	// inReturn is set while walking the results of a return statement,
+	// so escapes there classify as "returned" rather than "consumed".
+	inReturn bool
+}
+
+// dropKind classifies why a tracked value stopped being live.
+type dropKind uint8
+
+const (
+	dropConsumed dropKind = iota // retired, forwarded, stored, captured
+	dropReturned                 // flowed out through a return statement
+)
+
+// drop ends tracking of obj on this path and, in summary mode, records
+// what happened to it.
+func (w *prWalker) drop(st prLive, obj types.Object, kind dropKind) {
+	if obj == nil {
+		return
+	}
+	if _, live := st[obj]; !live {
+		return
+	}
+	delete(st, obj)
+	if w.collect == nil {
+		return
+	}
+	if f, ok := w.collect[obj]; ok {
+		if kind == dropReturned {
+			f.returned = true
+		} else {
+			f.consumed = true
+		}
+	}
 }
 
 // runPathCheck runs the shared all-paths dataflow with one rule set.
@@ -96,7 +194,7 @@ func runPathCheck(pass *Pass, rules *prRules) {
 			if body == nil {
 				return true
 			}
-			w := &prWalker{pass: pass, rules: rules, reported: map[types.Object]bool{}, bare: map[*ast.CallExpr]bool{}}
+			w := &prWalker{pass: pass, rules: rules, prog: pass.Prog, reported: map[types.Object]bool{}, bare: map[*ast.CallExpr]bool{}}
 			st := prLive{}
 			if !w.walkStmts(body.List, st) {
 				w.leakAll(st, "function return")
@@ -128,8 +226,18 @@ func acquisitionName(info *types.Info, call *ast.CallExpr) string {
 	return ""
 }
 
-// leak reports an acquisition that some path abandons.
+// leak reports an acquisition that some path abandons. In summary mode
+// it records the abandonment instead of reporting it: a parameter left
+// live at a path's end means the callee merely borrowed it.
 func (w *prWalker) leak(obj types.Object, a prAcq, where string) {
+	if w.collect != nil {
+		if obj != nil {
+			if f, ok := w.collect[obj]; ok {
+				f.abandoned = true
+			}
+		}
+		return
+	}
 	if obj != nil {
 		if w.reported[obj] {
 			return
@@ -200,9 +308,11 @@ func (w *prWalker) walkStmt(s ast.Stmt, st prLive) bool {
 		}
 		w.walkExpr(s.Call, false, st)
 	case *ast.ReturnStmt:
+		w.inReturn = true
 		for _, res := range s.Results {
 			w.walkExpr(res, true, st)
 		}
+		w.inReturn = false
 		if len(st) > 0 {
 			w.leakAll(st, w.posString(s.Pos()))
 		}
@@ -316,12 +426,74 @@ func (w *prWalker) trackOrScan(id *ast.Ident, rhs ast.Expr, st prLive) {
 	}
 	w.walkExpr(rhs, true, st)
 	if obj != nil {
+		var src types.Object
+		if isCall {
+			src = w.returnedThrough(call, st)
+		}
+		if src == obj {
+			// `t = clamp(t)`: the summary proves the callee returns its
+			// parameter, so the same live value flows back into t — not an
+			// overwrite, not a new acquisition.
+			return
+		}
 		if old, live := st[obj]; live {
 			// Overwritten while live: the pooled value is unreachable now.
 			w.leak(obj, old, "overwrite at "+w.posString(id.Pos()))
 			delete(st, obj)
 		}
+		if src != nil {
+			// `x := clamp(f)`: ownership follows the result; tracking (and,
+			// in summary mode, the outcome flags) transfers from f to x.
+			st[obj] = st[src]
+			delete(st, src)
+			if w.collect != nil {
+				if f, ok := w.collect[src]; ok {
+					w.collect[obj] = f
+				}
+			}
+		}
 	}
+}
+
+// returnedThrough resolves the single live tracked argument that the
+// callee's ownership summary proves flows back out through its results.
+// Returns nil when the callee is unresolved, unsummarized, no live
+// tracked argument is returned, or more than one is (ambiguous).
+func (w *prWalker) returnedThrough(call *ast.CallExpr, st prLive) types.Object {
+	if w.prog == nil {
+		return nil
+	}
+	fn := calleeFunc(w.pass.Info, call)
+	if fn == nil {
+		return nil
+	}
+	sum := w.prog.summaryFor(w.rules, fn, w.depth+1)
+	if sum == nil {
+		return nil
+	}
+	var src types.Object
+	for i, a := range call.Args {
+		ps, ok := sum.paramAt(i)
+		if !ok || !ps.Tracked || ps.Outcome != OutReturned {
+			continue
+		}
+		aid, ok := ast.Unparen(a).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		aobj := w.pass.Info.Uses[aid]
+		if aobj == nil {
+			continue
+		}
+		if _, live := st[aobj]; !live {
+			continue
+		}
+		if src != nil {
+			return nil
+		}
+		src = aobj
+	}
+	return src
 }
 
 // releasesInDefer reports whether a defer releases tracked values, and
@@ -332,7 +504,7 @@ func (w *prWalker) releasesInDefer(call *ast.CallExpr, st prLive) bool {
 		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
 			if obj := w.pass.Info.Uses[id]; obj != nil {
 				if _, live := st[obj]; live {
-					delete(st, obj)
+					w.drop(st, obj, dropConsumed)
 					released = true
 				}
 			}
@@ -341,7 +513,7 @@ func (w *prWalker) releasesInDefer(call *ast.CallExpr, st prLive) bool {
 	if lit, ok := call.Fun.(*ast.FuncLit); ok {
 		for obj := range st {
 			if usesObject(w.pass.Info, lit.Body, obj) {
-				delete(st, obj) // cleanup closure owns it now
+				w.drop(st, obj, dropConsumed) // cleanup closure owns it now
 				released = true
 			}
 		}
@@ -377,7 +549,11 @@ func (w *prWalker) walkExpr(e ast.Expr, escaping bool, st prLive) {
 			return
 		}
 		if obj := w.pass.Info.Uses[e]; obj != nil {
-			delete(st, obj)
+			kind := dropConsumed
+			if w.inReturn {
+				kind = dropReturned
+			}
+			w.drop(st, obj, kind)
 		}
 	case *ast.ParenExpr:
 		w.walkExpr(e.X, escaping, st)
@@ -411,13 +587,18 @@ func (w *prWalker) walkExpr(e ast.Expr, escaping bool, st prLive) {
 		// Captured by a closure: ownership is out of intra-function reach.
 		for obj := range st {
 			if usesObject(w.pass.Info, e.Body, obj) {
-				delete(st, obj)
+				w.drop(st, obj, dropConsumed)
 			}
 		}
 	}
 }
 
 // walkCall applies sink semantics to a call and scans its arguments.
+// With a Program attached, arguments whose parameter has an ownership
+// summary get precise semantics (consumed ⇒ retired here, borrowed ⇒
+// still the caller's problem); everything the summaries cannot cover —
+// unresolved callees, variadic tails, type-parameter params — falls back
+// to the name heuristics that were the whole story in intra mode.
 func (w *prWalker) walkCall(call *ast.CallExpr, st prLive) {
 	// A retire method (v.Release(), sp.End(now), …) retires its receiver;
 	// only tracked objects are affected, so an unrelated type sharing the
@@ -426,7 +607,7 @@ func (w *prWalker) walkCall(call *ast.CallExpr, st prLive) {
 		(w.rules.retireArgsOK || len(call.Args) == 0) {
 		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
 			if obj := w.pass.Info.Uses[id]; obj != nil {
-				delete(st, obj)
+				w.drop(st, obj, dropConsumed)
 			}
 		}
 	}
@@ -437,6 +618,9 @@ func (w *prWalker) walkCall(call *ast.CallExpr, st prLive) {
 	}
 	if _, _, isPut := queuePutCall(w.pass.Info, call); isPut {
 		argsEscape = true // forwarded downstream; the consumer releases
+	}
+	if isSyncPoolPut(w.pass.Info, call) {
+		argsEscape = true // stored in a sync.Pool; the pool owns it now
 	}
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
 		switch sel.Sel.Name {
@@ -449,10 +633,89 @@ func (w *prWalker) walkCall(call *ast.CallExpr, st prLive) {
 			argsEscape = true
 		}
 	}
+
+	var sum *FuncSummary
+	var fn *types.Func
+	if w.prog != nil {
+		fn = calleeFunc(w.pass.Info, call)
+		if fn != nil {
+			sum = w.prog.summaryFor(w.rules, fn, w.depth+1)
+		}
+		if sum == nil && w.anyLiveTrackedArg(call, st) {
+			// Interprocedural blind spot feeding a tracked value: surface it
+			// in -debug instead of failing silently.
+			switch {
+			case fn == nil:
+				w.prog.note(w.pass.Fset, call.Pos(), "unresolved callee (function value or interface dispatch) receives a tracked value; using call-site heuristics")
+			default:
+				w.prog.note(w.pass.Fset, call.Pos(), "no ownership summary for %s (no analyzable body, recursion, or depth bound); using call-site heuristics", fn.Name())
+			}
+		}
+	}
+
+	// A method whose summary proves the receiver is consumed retires it.
+	if sum != nil && sum.Recv.Tracked && sum.Recv.Outcome == OutConsumed {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if rid, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				w.drop(st, w.pass.Info.Uses[rid], dropConsumed)
+			}
+		}
+	}
+
 	w.walkExpr(call.Fun, false, st)
-	for _, a := range call.Args {
+	for i, a := range call.Args {
+		if sum != nil {
+			if ps, ok := sum.paramAt(i); ok && ps.Tracked {
+				if aid, ok := ast.Unparen(a).(*ast.Ident); ok {
+					if aobj := w.pass.Info.Uses[aid]; aobj != nil {
+						if _, live := st[aobj]; live {
+							switch ps.Outcome {
+							case OutConsumed:
+								w.drop(st, aobj, dropConsumed)
+							case OutBorrowed:
+								// Callee only inspects it: still the caller's
+								// to retire — even if a name heuristic would
+								// have trusted the call. This is the
+								// cross-function leak class intra mode misses.
+							case OutReturned:
+								if w.inReturn {
+									// `return clamp(f)`: the value rides the
+									// result out to our own caller.
+									w.drop(st, aobj, dropReturned)
+								}
+								// Otherwise trackOrScan transfers tracking to
+								// the assignment destination; a discarded
+								// result keeps the value live (and leaks).
+							case OutConditional:
+								// The callee itself cannot promise an outcome;
+								// fall back to the call-site heuristics.
+								w.prog.note(w.pass.Fset, a.Pos(), "conditional ownership summary for %s; using call-site heuristics", sum.Fn.Name())
+								if argsEscape {
+									w.drop(st, aobj, dropConsumed)
+								}
+							}
+							continue
+						}
+					}
+				}
+			}
+		}
 		w.walkExpr(a, argsEscape, st)
 	}
+}
+
+// anyLiveTrackedArg reports whether any argument is a live tracked ident.
+func (w *prWalker) anyLiveTrackedArg(call *ast.CallExpr, st prLive) bool {
+	for _, a := range call.Args {
+		if aid, ok := ast.Unparen(a).(*ast.Ident); ok {
+			if aobj := w.pass.Info.Uses[aid]; aobj != nil {
+				if _, live := st[aobj]; live {
+					return true
+				}
+			}
+		}
+	}
+	return false
 }
 
 // walkClauses handles switch/type-switch/select merging.

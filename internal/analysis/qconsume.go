@@ -138,12 +138,67 @@ func leakyArm(pass *Pass, stmts []ast.Stmt, fObj, okObj types.Object) (token.Pos
 				used = true
 			}
 		default:
-			if usesObject(pass.Info, st, fObj) {
+			if stmtHandlesFrame(pass, st, fObj) {
 				used = true
 			}
 		}
 	}
 	return token.NoPos, false
+}
+
+// stmtHandlesFrame decides whether a statement accounts for the dequeued
+// frame. Intra-function mode keeps the original blanket rule: any use
+// counts. With ownership summaries available, a statement that merely
+// lends the frame to a callee — a bare call whose parameter summary is
+// borrowed (or returned with the result discarded) — does NOT transfer
+// ownership, so a continue after it still abandons the frame. This is
+// the interprocedural hole the blanket rule could not see.
+func stmtHandlesFrame(pass *Pass, st ast.Stmt, fObj types.Object) bool {
+	if !usesObject(pass.Info, st, fObj) {
+		return false
+	}
+	if pass.Prog == nil {
+		return true
+	}
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return true
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return true
+	}
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return true
+	}
+	sum := pass.Prog.summaryFor(poolReleaseRules, fn, 0)
+	if sum == nil {
+		return true
+	}
+	if usesObject(pass.Info, call.Fun, fObj) {
+		return true // receiver or selector use: beyond the summaries' reach
+	}
+	for i, a := range call.Args {
+		if !usesObject(pass.Info, a, fObj) {
+			continue
+		}
+		aid, isIdent := ast.Unparen(a).(*ast.Ident)
+		if !isIdent || pass.Info.Uses[aid] != fObj {
+			return true // f.field or derived expression: keep blanket rule
+		}
+		ps, ok := sum.paramAt(i)
+		if !ok || !ps.Tracked {
+			return true // variadic tail / untracked param: keep blanket rule
+		}
+		switch ps.Outcome {
+		case OutConsumed, OutConditional:
+			return true
+		}
+		// Borrowed, or Returned with the result discarded right here:
+		// ownership stayed with this loop.
+	}
+	return false
 }
 
 // ifUsesOnAllPaths reports whether both arms of an if statement use the

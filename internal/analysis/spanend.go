@@ -30,9 +30,21 @@ var spanEndRules = &prRules{
 	acquire:      spanAcquisitionName,
 	retire:       map[string]bool{"End": true, "EndDrop": true},
 	retireArgsOK: true,
+	tracked:      isSpanHandleType,
 	noun:         "span",
 	verb:         "ended",
 	advice:       "End it, EndDrop it, forward it, or lint:allow",
+}
+
+// isSpanHandleType reports whether t is trace.SpanHandle (by value or
+// pointer) — the parameter type the span summaries follow across calls.
+func isSpanHandleType(t types.Type) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "SpanHandle" && obj.Pkg() != nil && pathIs(obj.Pkg().Path(), "internal/trace")
 }
 
 // spanAcquisitionName classifies a call as a span-handle acquisition: a

@@ -55,7 +55,7 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) (suppressions, 
 					bad = append(bad, Diagnostic{
 						Analyzer: "lint",
 						Pos:      pos,
-						Message:  "lint:allow needs a known analyzer name (detnow, putcheck, poolrelease, dispositions)",
+						Message:  "lint:allow needs a known analyzer name (see ffslint -list)",
 					})
 					continue
 				}

@@ -1,0 +1,109 @@
+// Package gostopfix seeds gostop violations: goroutines in the pipeline
+// packages' scope that nothing can join — the before/after pair for the
+// obs Serve-goroutine bug class — next to every sanctioned join
+// mechanism (stop channel, select, context.Done, WaitGroup.Done, range
+// over a channel). This fixture directory is explicitly listed in the
+// analyzer's package scope.
+package gostopfix
+
+import (
+	"context"
+	"sync"
+)
+
+// badFire spins a free-running worker: no stop signal, no join.
+func badFire(work func()) {
+	go func() { // want `goroutine is not joinable`
+		for {
+			work()
+		}
+	}()
+}
+
+// badServe is the obs server bug class before the fix: the serve
+// goroutine exits only when serve returns, and shutdown has no way to
+// wait for that.
+func badServe(serve func() error) {
+	go func() { // want `goroutine is not joinable`
+		_ = serve()
+	}()
+}
+
+// goodServe is the fix: a WaitGroup ties the goroutine to shutdown.
+func goodServe(wg *sync.WaitGroup, serve func() error) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = serve()
+	}()
+}
+
+// goodStop observes a stop channel every iteration.
+func goodStop(stop chan struct{}, work func()) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// goodCtx observes context cancellation.
+func goodCtx(ctx context.Context, work func()) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// goodRange drains a channel: closing it joins the goroutine.
+func goodRange(ch chan int, work func(int)) {
+	go func() {
+		for v := range ch {
+			work(v)
+		}
+	}()
+}
+
+// spin loops forever with no stop mechanism; only the whole-module view
+// can look inside a named callee.
+func spin() {
+	for {
+	}
+}
+
+// badNamed spawns the named free-runner.
+func badNamed() {
+	go spin() // want `goroutine is not joinable`
+}
+
+// pump drains its channel until the done channel closes.
+type pump struct {
+	ch   chan int
+	done chan struct{}
+}
+
+func (p *pump) loop() {
+	for {
+		select {
+		case <-p.ch:
+		case <-p.done:
+			return
+		}
+	}
+}
+
+// goodNamed spawns a named runner whose body selects on done.
+func goodNamed(p *pump) {
+	go p.loop()
+}

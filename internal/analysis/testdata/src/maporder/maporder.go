@@ -1,0 +1,79 @@
+// Package maporderfix seeds maporder violations: map ranges whose body
+// reaches a deterministic output (Go randomizes map iteration order, so
+// these make byte-identical runs impossible), next to the sanctioned
+// collect-keys-and-sort idiom and order-insensitive aggregation.
+package maporderfix
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// badPrint writes one line per key straight out of the map range.
+func badPrint(counts map[string]int) {
+	for k, v := range counts { // want `map iteration order is random`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// badFprint is the export-writer shape (trace/JSONL/BENCH_*.json).
+func badFprint(w io.Writer, counts map[string]int) {
+	for k, v := range counts { // want `map iteration order is random`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// badBuilder appends to a strings.Builder in map order.
+func badBuilder(m map[string]bool) string {
+	var b strings.Builder
+	for k := range m { // want `map iteration order is random`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// badConcat accumulates a report string in map order.
+func badConcat(m map[string]int) string {
+	s := ""
+	for k := range m { // want `map iteration order is random`
+		s += k
+	}
+	return s
+}
+
+// emitLine is an output helper one call away from the range.
+func emitLine(w io.Writer, s string) {
+	fmt.Fprintln(w, s)
+}
+
+// badTransitive reaches the writer through a module helper — only the
+// interprocedural view (Program.writers) can see this one.
+func badTransitive(w io.Writer, m map[string]int) {
+	for k := range m { // want `map iteration order is random`
+		emitLine(w, k)
+	}
+}
+
+// goodSorted is the sanctioned idiom: collect, sort, then range the
+// slice. The collect loop's body has no output sink, so it is silent.
+func goodSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// goodAggregate is order-insensitive: summing commutes.
+func goodAggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

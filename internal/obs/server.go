@@ -42,6 +42,10 @@ type Server struct {
 
 	ln  net.Listener
 	srv *http.Server
+	// wg joins the serve goroutine: Close must not return while it still
+	// runs, or a fast teardown races the port release (the gostop
+	// goroutine-leak class).
+	wg sync.WaitGroup
 }
 
 // NewServer prepares a server for addr; tr may be nil (tracez then
@@ -78,7 +82,9 @@ func (s *Server) Start() error {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/tracez", s.handleTracez)
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s.wg.Add(1)
 	go func() {
+		defer s.wg.Done()
 		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			// The listener died under us; nothing to do but stop serving.
 			_ = err
@@ -95,12 +101,15 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the server and releases the port.
+// Close stops the server, waits for the serve goroutine to exit, and
+// releases the port.
 func (s *Server) Close() error {
 	if s.srv == nil {
 		return nil
 	}
-	return s.srv.Close()
+	err := s.srv.Close()
+	s.wg.Wait()
+	return err
 }
 
 // snapshot returns the stored snapshots keyed by instance, plus the

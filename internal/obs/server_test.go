@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -178,5 +179,67 @@ func TestIndexAndNotFound(t *testing.T) {
 	}
 	if code, _ := get(t, s, "/nope"); code != http.StatusNotFound {
 		t.Fatalf("unknown path status %d", code)
+	}
+}
+
+// TestScrapeByteStable asserts the audit result for /metrics and
+// /snapshot determinism: two servers holding the same logical state —
+// pushed in different orders, with labeled metrics created in different
+// orders inside each snapshot — serve byte-identical bodies, and a
+// repeated scrape of one server is byte-identical to itself. Instance
+// emission is sorted, registry samples keep registration order with
+// sorted labels, and /snapshot JSON sorts its map keys.
+func TestScrapeByteStable(t *testing.T) {
+	snA := liveSnapshot(time.Second)
+	snB := liveSnapshot(time.Second)
+	snB.InFlight = 3
+
+	s1 := startServer(t, nil)
+	s1.Push(0, snA)
+	s1.Push(1, snB)
+
+	s2 := startServer(t, nil)
+	s2.Push(1, snB) // reversed push order: same logical state
+	s2.Push(0, snA)
+
+	for _, path := range []string{"/metrics", "/snapshot"} {
+		c1, b1 := get(t, s1, path)
+		c2, b2 := get(t, s2, path)
+		if c1 != http.StatusOK || c2 != http.StatusOK {
+			t.Fatalf("%s: status %d vs %d", path, c1, c2)
+		}
+		if b1 != b2 {
+			t.Errorf("%s differs across push orders:\n--- s1\n%s\n--- s2\n%s", path, b1, b2)
+		}
+		_, again := get(t, s1, path)
+		if b1 != again {
+			t.Errorf("%s differs across repeated scrapes of one server", path)
+		}
+	}
+}
+
+// TestCloseJoinsServeGoroutine is the regression test for the gostop
+// finding: Close must not return until the serve goroutine has exited,
+// so shutdown never leaks it.
+func TestCloseJoinsServeGoroutine(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := NewServer("127.0.0.1:0", nil)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, body := get(t, s, "/"); !strings.Contains(body, "observability") {
+		t.Fatalf("unexpected index body %q", body)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close wg.Waits on the serve goroutine, so only net/http's transient
+	// per-connection goroutines may still be draining; poll them away.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines leaked across Close: %d before, %d after", before, n)
 	}
 }
