@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-self fmt-check test race ci bench bench-gate bench-all bench-trace bench-cluster bench-consolidate trace-smoke
+.PHONY: all build vet lint lint-self fmt-check test race ci bench bench-gate bench-all bench-trace bench-cluster bench-consolidate bench-timeline trace-smoke
 
 all: build
 
@@ -27,10 +27,13 @@ vet:
 lint: fmt-check
 	$(GO) run ./cmd/ffslint -budget 30s ./...
 
-# lint-self turns the analyzers on their own implementation: the
-# analysis package must stay clean under its own rules.
+# lint-self turns the analyzers on the packages that must stay clean
+# under their own rules: the analysis implementation itself, and the
+# timeline flight recorder (whose dump-writer goroutine, pooled reads,
+# and map iterations are exactly what gostop/poolrelease/maporder
+# police).
 lint-self:
-	$(GO) run ./cmd/ffslint -budget 30s ./internal/analysis
+	$(GO) run ./cmd/ffslint -budget 30s ./internal/analysis ./internal/timeline
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -44,7 +47,7 @@ test:
 # kernels with their pooled buffers (worker pool, tensor/frame pools),
 # and the fault-injection + cluster failure/recovery paths.
 race:
-	$(GO) test -race ./internal/queue ./internal/pipeline ./internal/par ./internal/nn ./internal/detect ./internal/faults ./internal/cluster ./internal/cluster/sched ./internal/trace ./internal/obs
+	$(GO) test -race ./internal/queue ./internal/pipeline ./internal/par ./internal/nn ./internal/detect ./internal/faults ./internal/cluster ./internal/cluster/sched ./internal/trace ./internal/obs ./internal/timeline
 
 # The experiments suite alone needs ~20 min under -race (the virtual
 # clock is cooperative, so the race detector's overhead doesn't
@@ -60,6 +63,7 @@ ci:
 	$(MAKE) bench-gate
 	$(MAKE) bench-cluster
 	$(MAKE) bench-consolidate
+	$(MAKE) bench-timeline
 
 # trace-smoke proves the Perfetto export end to end: a quickstart run
 # with tracing on, structurally validated by the stdlib-only checker.
@@ -97,6 +101,13 @@ bench-trace:
 # small to spend the wall-clock on).
 bench-cluster:
 	$(GO) run ./cmd/ffsbench -only cluster -scale quick -gate
+
+# bench-timeline gates the flight-recorder overhead: the traced
+# standard workload with the timeline sampler + attribution on vs off
+# must stay within 3% FPS, recorded in BENCH_timeline.json (skipped,
+# with an explicit marker, on single-core hosts).
+bench-timeline:
+	$(GO) run ./cmd/ffsbench -only timeline -scale quick -gate
 
 # bench-consolidate sweeps the consolidated fleet past the committed
 # full-frame knee and measures the reference-bound tier (high TOR, GPU-1

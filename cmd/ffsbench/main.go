@@ -31,11 +31,11 @@ type tabler interface{ Tables() []*experiments.Table }
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
-	only := flag.String("only", "", "comma-separated experiment ids to run (default all): headline,table1,fig3,fig4,fig5,fig6a,fig6b,fig7,fig8,table2,fig9,fig10,ablations,extensions,metrics,kernels,trace,cluster,consolidate")
+	only := flag.String("only", "", "comma-separated experiment ids to run (default all): headline,table1,fig3,fig4,fig5,fig6a,fig6b,fig7,fig8,table2,fig9,fig10,ablations,extensions,metrics,kernels,trace,cluster,consolidate,timeline")
 	outPath := flag.String("o", "", "write output to file instead of stdout")
 	metricsEvery := flag.Duration("metrics", 500*time.Millisecond, "snapshot interval for the metrics job")
 	metricsJSON := flag.Bool("metrics-json", false, "also dump each metrics-job snapshot as a JSON line")
-	gateFlag := flag.Bool("gate", false, "kernels job: fail (exit 1) on a missing multi-core speedup or serial ns/op regression; cluster job: fail on a max-sustained-streams regression; consolidate job: fail unless the consolidated fleet beats the full-frame baseline")
+	gateFlag := flag.Bool("gate", false, "kernels job: fail (exit 1) on a missing multi-core speedup or serial ns/op regression; cluster job: fail on a max-sustained-streams regression; consolidate job: fail unless the consolidated fleet beats the full-frame baseline; timeline job: fail when the flight recorder costs over its overhead budget")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -92,6 +92,7 @@ func main() {
 		{"trace", func() (tabler, error) { return runTraceBench(scale) }},
 		{"cluster", func() (tabler, error) { return runClusterBench(scale, *gateFlag) }},
 		{"consolidate", func() (tabler, error) { return runConsolidateBench(scale, *gateFlag) }},
+		{"timeline", func() (tabler, error) { return runTimelineBench(scale, *gateFlag) }},
 	}
 
 	fmt.Fprintf(out, "FFS-VA evaluation reproduction (scale=%s), started %s\n\n", scale.Name, time.Now().Format(time.RFC3339))

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"ffsva/internal/experiments"
+
+	"ffsva"
+)
+
+// timelineBenchReport is the BENCH_timeline.json document: wall-clock
+// throughput of the traced standard workload with the timeline flight
+// recorder off versus on. Tracing is on in both configurations, so the
+// delta isolates what the tentpole adds on top of PR-5's budget: the
+// per-tick sampler (snapshot walk + KindLoads read + counter pushes)
+// and the end-of-run attribution pass.
+type timelineBenchReport struct {
+	Generated string `json:"generated"`
+	Frames    int64  `json:"frames"`
+	Reps      int    `json:"reps"`
+	NumCPU    int    `json:"num_cpu"`
+	// OffFPS/OnFPS are each rep-set's best wall-clock FPS (best-of damps
+	// scheduler noise; the gate compares steady-state capability).
+	OffFPS float64 `json:"timeline_off_fps"`
+	OnFPS  float64 `json:"timeline_on_fps"`
+	// OverheadPct is (off-on)/off in percent; the gate fails above
+	// MaxOverheadPct.
+	OverheadPct    float64 `json:"overhead_pct"`
+	MaxOverheadPct float64 `json:"max_overhead_pct"`
+	// Ticks and Verdict describe the last on-run's recording: the
+	// sampler must actually have sampled, and the attribution engine
+	// must have produced a verdict, for the overhead number to mean
+	// anything.
+	Ticks   int64  `json:"ticks"`
+	Verdict string `json:"verdict"`
+	// Gate is "ok: ...", "skipped: <reason>", or "FAIL: ..." per the
+	// bench-gate convention; under -gate a FAIL exits non-zero.
+	Gate string `json:"gate"`
+}
+
+const benchTimelinePath = "BENCH_timeline.json"
+
+// timelineMaxOverheadPct is the sampler + attribution budget on top of
+// tracing-only.
+const timelineMaxOverheadPct = 3.0
+
+func (r *timelineBenchReport) Tables() []*experiments.Table {
+	t := &experiments.Table{
+		ID:      "timeline",
+		Title:   "flight-recorder overhead on the traced workload, off vs on",
+		Columns: []string{"config", "fps", "overhead"},
+		Notes: []string{
+			fmt.Sprintf("best of %d wall-clock reps over %d frames; gate: overhead < %.0f%%", r.Reps, r.Frames, r.MaxOverheadPct),
+			fmt.Sprintf("on-run recorded %d ticks; %s", r.Ticks, r.Verdict),
+			"gate: " + r.Gate,
+			"written to " + benchTimelinePath,
+		},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"timeline off", fmt.Sprintf("%.1f fps", r.OffFPS), "-"},
+		[]string{"timeline on", fmt.Sprintf("%.1f fps", r.OnFPS), fmt.Sprintf("%.2f%%", r.OverheadPct)})
+	return []*experiments.Table{t}
+}
+
+// runTimelineBench times the traced standard workload with the flight
+// recorder off and on, interleaving reps to damp drift, writes
+// BENCH_timeline.json, and (with gate set) fails when the recorder
+// costs more than the overhead budget.
+func runTimelineBench(scale experiments.Scale, gate bool) (tabler, error) {
+	cfg := ffsva.DefaultConfig()
+	cfg.Streams = 2
+	cfg.FramesPerStream = scale.OfflineFrames / 2
+	if cfg.FramesPerStream < 100 {
+		cfg.FramesPerStream = 100
+	}
+	cfg.MetricsEvery = 250 * time.Millisecond // same cadence both ways
+	reps := 3
+	if scale.Name == "full" {
+		reps = 5
+	}
+
+	// One timed run; fresh tracer and recorder per rep keep retention
+	// work comparable. The off run still pays for tracing — the delta is
+	// the recorder alone.
+	run := func(rec *ffsva.Timeline) (*ffsva.Result, float64, error) {
+		cfg.Trace = ffsva.NewTracer(ffsva.TraceOptions{})
+		cfg.Timeline = rec
+		cfg.OnSnapshot = func(int, ffsva.Snapshot) {} // force the monitor on in both configs
+		start := time.Now()
+		res, err := ffsva.Run(cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		fps := float64(res.Pipeline.TotalFrames) / time.Since(start).Seconds()
+		return res, fps, nil
+	}
+	if _, _, err := run(nil); err != nil { // warm model caches and pools
+		return nil, err
+	}
+
+	rep := &timelineBenchReport{
+		Generated:      time.Now().Format(time.RFC3339),
+		Reps:           reps,
+		NumCPU:         runtime.NumCPU(),
+		MaxOverheadPct: timelineMaxOverheadPct,
+	}
+	for i := 0; i < reps; i++ {
+		res, offFPS, err := run(nil)
+		if err != nil {
+			return nil, err
+		}
+		rep.Frames = res.Pipeline.TotalFrames
+		if offFPS > rep.OffFPS {
+			rep.OffFPS = offFPS
+		}
+		rec := ffsva.NewTimeline(ffsva.TimelineOptions{})
+		onRes, onFPS, err := run(rec)
+		if err != nil {
+			return nil, err
+		}
+		if onFPS > rep.OnFPS {
+			rep.OnFPS = onFPS
+		}
+		rep.Ticks = rec.TickCount()
+		rep.Verdict = onRes.Pipeline.Bottleneck
+		if err := rec.Close(); err != nil {
+			return nil, err
+		}
+	}
+	if rep.OffFPS > 0 {
+		rep.OverheadPct = 100 * (rep.OffFPS - rep.OnFPS) / rep.OffFPS
+	}
+	if rep.Ticks == 0 {
+		return nil, fmt.Errorf("timeline bench: the on-run recorded no ticks — the sampler never ran")
+	}
+	if rep.Verdict == "" {
+		return nil, fmt.Errorf("timeline bench: the on-run produced no bottleneck verdict")
+	}
+	rep.Gate = timelineGate(rep)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(benchTimelinePath, append(data, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	if gate && len(rep.Gate) >= 4 && rep.Gate[:4] == "FAIL" {
+		return nil, fmt.Errorf("timeline gate: %s", rep.Gate)
+	}
+	return rep, nil
+}
+
+// timelineGate follows the bench-gate convention: an explicit skipped
+// marker on hosts where wall-clock FPS deltas are noise, ok/FAIL by the
+// overhead budget otherwise.
+func timelineGate(r *timelineBenchReport) string {
+	if r.NumCPU < 2 {
+		return "skipped: single-core host; wall-clock overhead deltas are scheduler noise without a spare core"
+	}
+	if r.OverheadPct > r.MaxOverheadPct {
+		return fmt.Sprintf("FAIL: timeline overhead %.2f%% exceeds the %.0f%% budget (off %.1f fps, on %.1f fps)",
+			r.OverheadPct, r.MaxOverheadPct, r.OffFPS, r.OnFPS)
+	}
+	return fmt.Sprintf("ok: timeline overhead %.2f%% within the %.0f%% budget", r.OverheadPct, r.MaxOverheadPct)
+}

@@ -64,8 +64,19 @@
 //
 // -listen serves the live observability endpoint while the run is in
 // progress: /metrics (Prometheus text), /snapshot (JSON), /healthz
-// (heartbeat liveness), and /tracez (recent sampled traces). A
-// host-less address like ":8080" binds 127.0.0.1 only.
+// (heartbeat liveness), /tracez (recent sampled traces), and — with
+// -timeline — /timeline (flight-recorder window queries) and
+// /bottleneck (the ranked binding-constraint verdict). A host-less
+// address like ":8080" binds 127.0.0.1 only.
+//
+// -timeline attaches the flight recorder: the run is sampled into a
+// bounded ring of deterministic ticks (queue depths, device busy time,
+// per-stage span loads, per-tenant rollups), the report gains the
+// bottleneck attribution verdict ("which tier binds"), and — when
+// tracing is also on — queue-depth and busy-fraction counter tracks
+// appear in the Perfetto export. -dump-on-fault DIR additionally
+// freezes the window around every fault, overload engagement, or
+// disruptive cluster event to a JSONL file in DIR.
 //
 // By default the run executes under the deterministic virtual clock,
 // reproducing the paper's two-GPU server timings on any machine; -real
@@ -131,6 +142,8 @@ func main() {
 	tracePath := flag.String("trace", "", "write Perfetto-loadable trace-event JSON to this file")
 	traceJSONL := flag.String("trace-jsonl", "", "write the structured JSONL trace log to this file")
 	listen := flag.String("listen", "", `serve the live observability endpoint (":8080" binds localhost)`)
+	timelineOn := flag.Bool("timeline", false, "record the flight-recorder timeline and print the bottleneck verdict")
+	dumpDir := flag.String("dump-on-fault", "", "freeze the timeline window around faults/overload/migrations to JSONL dumps in this directory (implies -timeline)")
 	flag.Parse()
 
 	switch *workload {
@@ -170,12 +183,23 @@ func main() {
 	}
 
 	var tracer *ffsva.Tracer
-	if *tracePath != "" || *traceJSONL != "" || *listen != "" {
+	// -dump-on-fault needs the tracer too: fault/throttle/cluster
+	// instants reach the timeline through it, so dumps without it would
+	// only ever see overload engagements.
+	if *tracePath != "" || *traceJSONL != "" || *listen != "" || *dumpDir != "" {
 		tracer = ffsva.NewTracer(ffsva.TraceOptions{})
 		cfg.Trace = tracer
 	}
+	var rec *ffsva.Timeline
+	if *timelineOn || *dumpDir != "" {
+		rec = ffsva.NewTimeline(ffsva.TimelineOptions{DumpDir: *dumpDir, Tracer: tracer})
+		cfg.Timeline = rec
+	}
 	if *listen != "" {
 		server := ffsva.NewObsServer(*listen, tracer)
+		if rec != nil {
+			server.SetTimeline(rec)
+		}
 		if cfg.MetricsEvery == 0 {
 			cfg.MetricsEvery = time.Second // the endpoint needs a snapshot cadence
 		}
@@ -246,7 +270,11 @@ func main() {
 		for id := 0; id < cfg.Streams; id++ {
 			fmt.Printf("    stream %d: %d\n", id, rep.StreamFrames[id])
 		}
+		if rec != nil {
+			fmt.Printf("  %s\n", rec.Attribute(-1, 0, 0).Summary())
+		}
 		exportTrace(tracer, *tracePath, *traceJSONL)
+		finishTimeline(rec)
 		return
 	}
 
@@ -270,6 +298,21 @@ func main() {
 			sr.ID, sr.Counts[0], sr.Counts[1], sr.Counts[2], sr.Counts[3], sr.RealizedTOR)
 	}
 	exportTrace(tracer, *tracePath, *traceJSONL)
+	finishTimeline(rec)
+}
+
+// finishTimeline flushes the flight recorder's pending dumps and lists
+// the dump files it wrote.
+func finishTimeline(rec *ffsva.Timeline) {
+	if rec == nil {
+		return
+	}
+	if err := rec.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "ffsva: timeline dump: %v\n", err)
+	}
+	for _, path := range rec.Dumps() {
+		fmt.Fprintf(os.Stderr, "ffsva: wrote %s\n", path)
+	}
 }
 
 // parseTenants parses the -tenants spec ("acme=4,globex=2") into the

@@ -41,6 +41,7 @@ import (
 	"ffsva/internal/faults"
 	"ffsva/internal/obs"
 	"ffsva/internal/pipeline"
+	"ffsva/internal/timeline"
 	"ffsva/internal/trace"
 )
 
@@ -113,8 +114,29 @@ type (
 	// Snapshot is one observation of the running pipeline (Config.OnSnapshot).
 	Snapshot = pipeline.Snapshot
 	// ObsServer is the live observability HTTP endpoint (/metrics,
-	// /snapshot, /healthz, /tracez); feed it via Config.OnSnapshot.
+	// /snapshot, /healthz, /tracez, /timeline, /bottleneck); feed it via
+	// Config.OnSnapshot and ObsServer.SetTimeline.
 	ObsServer = obs.Server
+	// Timeline is the flight recorder (Config.Timeline): a bounded ring
+	// of deterministic ticks with per-stage, per-device, and per-tenant
+	// rollups, queryable windows, event-triggered dumps, and the
+	// bottleneck attribution engine behind Report.Bottleneck and the
+	// /bottleneck endpoint.
+	Timeline = timeline.Recorder
+	// TimelineOptions bounds the flight recorder; the zero value applies
+	// the defaults (4096-tick ring, 1024 events, dumps off).
+	TimelineOptions = timeline.Options
+	// TimelineTick is one flight-recorder sample.
+	TimelineTick = timeline.Tick
+	// TimelineEvent is one point event on the timeline.
+	TimelineEvent = timeline.Event
+	// TimelineWindow is the /timeline response document (Timeline.Window).
+	TimelineWindow = timeline.WindowDoc
+	// Verdict is the ranked binding-constraint verdict
+	// (Timeline.Attribute, the /bottleneck endpoint).
+	Verdict = timeline.Verdict
+	// TierVerdict is one tier's USE classification inside a Verdict.
+	TierVerdict = timeline.TierVerdict
 )
 
 // Workloads (Table 1).
@@ -239,6 +261,12 @@ func NewTracer(opt TraceOptions) *Tracer { return trace.New(opt) }
 // server.Push into Config.OnSnapshot (with Config.MetricsEvery set) and
 // call Start/Close around the run.
 func NewObsServer(addr string, tr *Tracer) *ObsServer { return obs.NewServer(addr, tr) }
+
+// NewTimeline builds the flight recorder (zero TimelineOptions for the
+// defaults). Set it as Config.Timeline before the run; query Window and
+// Attribute during or after it; Close it to flush event-triggered
+// dumps.
+func NewTimeline(opt TimelineOptions) *Timeline { return timeline.New(opt) }
 
 // ValidateTrace structurally checks an exported Chrome trace-event JSON
 // document (trace-smoke and tests use it; Perfetto is the real judge).

@@ -19,6 +19,7 @@ var goStopScope = []string{
 	"internal/obs",
 	"internal/spill",
 	"internal/faults",
+	"internal/timeline",
 	"internal/analysis/testdata/src/gostop", // golden fixture package
 }
 

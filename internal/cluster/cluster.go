@@ -169,6 +169,10 @@ type Config struct {
 	// observability endpoint feeds from it. It runs on the manager's
 	// clock process, so it must be fast and must not block.
 	OnSnapshot func(instance int, sn pipeline.Snapshot)
+	// OnEvent, when non-nil, receives every control-plane Event as it is
+	// recorded — the timeline flight recorder feeds from it even when no
+	// tracer is attached. Same contract as OnSnapshot: fast, non-blocking.
+	OnEvent func(e Event)
 }
 
 // DefaultConfig returns cluster defaults per the paper's signals.
@@ -478,21 +482,17 @@ func (c *Cluster) view(snaps []pipeline.Snapshot) *sched.View {
 	return c.sch.View(c.cfg.Clock.Now(), insts, owners)
 }
 
-// record appends a manager event and mirrors it into the trace as an
-// instant event — on the destination instance's track for admissions
-// and scale-ups, on the source's for everything else (that is where
-// the disruption happened), and on instance 0's (the cluster's front
-// door) for rejections.
-func (c *Cluster) record(e Event) {
-	c.events = append(c.events, e)
-	tr := c.cfg.Tracer
-	if tr == nil {
-		return
-	}
-	inst, name := e.From, ""
+// Instant maps the event to its trace-instant form: the instance track
+// it lands on — the destination's for admissions and scale-ups, the
+// source's for everything else (that is where the disruption happened),
+// and instance 0's (the cluster's front door) for rejections — plus the
+// short name. The timeline recorder classifies dump triggers by these
+// names, so they are part of the observability contract.
+func (e Event) Instant() (instance int, name string) {
+	instance, name = e.From, ""
 	switch e.Kind {
 	case EventAdmit:
-		inst, name = e.To, fmt.Sprintf("admit stream %d", e.StreamID)
+		instance, name = e.To, fmt.Sprintf("admit stream %d", e.StreamID)
 	case EventReforward:
 		name = fmt.Sprintf("reforward stream %d -> %d", e.StreamID, e.To)
 	case EventFail:
@@ -500,15 +500,29 @@ func (c *Cluster) record(e Event) {
 	case EventRecover:
 		name = fmt.Sprintf("recover stream %d -> %d", e.StreamID, e.To)
 	case EventReject:
-		inst, name = 0, fmt.Sprintf("reject stream %d", e.StreamID)
+		instance, name = 0, fmt.Sprintf("reject stream %d", e.StreamID)
 	case EventScaleUp:
-		inst, name = e.To, fmt.Sprintf("scale-up instance %d", e.To)
+		instance, name = e.To, fmt.Sprintf("scale-up instance %d", e.To)
 	case EventScaleDown:
 		name = fmt.Sprintf("scale-down instance %d", e.From)
 	case EventMigrate:
 		name = fmt.Sprintf("migrate stream %d -> %d", e.StreamID, e.To)
 	}
-	tr.Instant(name, "cluster", inst, e.At)
+	return instance, name
+}
+
+// record appends a manager event, mirrors it into the trace as an
+// instant event (see Event.Instant for track placement), and hands it
+// to the OnEvent hook.
+func (c *Cluster) record(e Event) {
+	c.events = append(c.events, e)
+	if fn := c.cfg.OnEvent; fn != nil {
+		fn(e)
+	}
+	if tr := c.cfg.Tracer; tr != nil {
+		inst, name := e.Instant()
+		tr.Instant(name, "cluster", inst, e.At)
+	}
 }
 
 // overloaded combines three snapshot signals: blocked ingest, a deep

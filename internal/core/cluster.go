@@ -10,6 +10,7 @@ import (
 	"ffsva/internal/detect"
 	"ffsva/internal/lab"
 	"ffsva/internal/pipeline"
+	"ffsva/internal/timeline"
 	"ffsva/internal/vclock"
 )
 
@@ -126,6 +127,25 @@ func RunClusterContext(ctx context.Context, cfg ClusterConfig) (*cluster.Report,
 	ccfg.Faults = cfg.Faults
 	ccfg.Tracer = cfg.Trace
 	ccfg.OnSnapshot = cfg.OnSnapshot
+	if rec := cfg.Timeline; rec != nil {
+		rec.BindTracer(cfg.Trace)
+		onSnap := cfg.OnSnapshot
+		ccfg.OnSnapshot = func(instance int, sn pipeline.Snapshot) {
+			rec.Observe(instance, sn)
+			if onSnap != nil {
+				onSnap(instance, sn)
+			}
+		}
+		if cfg.Trace == nil {
+			// Without a tracer the recorder has no instant feed, so the
+			// control-plane events flow in directly; with one, BindTracer
+			// already subscribes them (wiring both would double-record).
+			ccfg.OnEvent = func(e cluster.Event) {
+				instance, name := e.Instant()
+				rec.RecordEvent(timeline.Event{Name: name, Cat: "cluster", Instance: instance, At: e.At})
+			}
+		}
+	}
 
 	// The manager must outlive the last arrival plus a full stream
 	// duration (30 FPS pacing), with slack for backlog drain.
@@ -139,6 +159,9 @@ func RunClusterContext(ctx context.Context, cfg ClusterConfig) (*cluster.Report,
 		tenant := ""
 		if len(cfg.Tenants) > 0 {
 			tenant = cfg.Tenants[i%len(cfg.Tenants)]
+		}
+		if cfg.Timeline != nil && tenant != "" {
+			cfg.Timeline.SetTenant(i, tenant)
 		}
 		arrivals[i] = cluster.Arrival{
 			At:     time.Duration(i) * cfg.ArrivalEvery,

@@ -17,6 +17,7 @@ import (
 	"ffsva/internal/frame"
 	"ffsva/internal/lab"
 	"ffsva/internal/pipeline"
+	"ffsva/internal/timeline"
 	"ffsva/internal/trace"
 	"ffsva/internal/vclock"
 )
@@ -85,6 +86,15 @@ type Config struct {
 	// process, so it must be fast and must not block.
 	OnSnapshot func(instance int, sn pipeline.Snapshot)
 
+	// Timeline, when non-nil, is the flight recorder fed by the run: the
+	// monitor process pushes a tick per interval (MetricsEvery, or a
+	// 250ms default when only the recorder asks for sampling), the
+	// tracer — when also set — is bound for per-stage loads and event
+	// intake, and after the run the recorder's whole-window verdict
+	// annotates Report.Bottleneck. The caller owns the recorder and
+	// Closes it to flush event-triggered dumps.
+	Timeline *timeline.Recorder
+
 	// Trace, when non-nil, records a span tree for every frame's journey
 	// through the cascade (decode, queue waits, SDD, SNM batch assembly
 	// and inference, shared T-YOLO, reference model). The caller owns
@@ -146,6 +156,12 @@ func Run(cfg Config) (*Result, error) {
 // context. Under the virtual clock this is simulated time — polling is
 // free — and under the real clock it bounds cancellation latency.
 const ctxPollInterval = 10 * time.Millisecond
+
+// timelineDefaultEvery is the flight-recorder sampling interval when a
+// Timeline is set but no MetricsEvery was chosen: fine enough for
+// windowed attribution, coarse enough that sampling stays in the
+// bench-gated <3% overhead budget.
+const timelineDefaultEvery = 250 * time.Millisecond
 
 // RunContext is Run with cancellation: when ctx is cancelled mid-run,
 // every stream's ingest halts at its next frame boundary, frames
@@ -219,9 +235,19 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			sys.Crash()
 		})
 	}
-	if cfg.MetricsEvery > 0 && (cfg.MetricsOut != nil || cfg.OnSnapshot != nil) {
-		out, asJSON, onSnap := cfg.MetricsOut, cfg.MetricsJSON, cfg.OnSnapshot
-		sys.Monitor(cfg.MetricsEvery, func(sn pipeline.Snapshot) {
+	if cfg.Timeline != nil {
+		cfg.Timeline.BindTracer(cfg.Trace)
+	}
+	every := cfg.MetricsEvery
+	if every <= 0 && cfg.Timeline != nil {
+		every = timelineDefaultEvery
+	}
+	if every > 0 && (cfg.MetricsOut != nil || cfg.OnSnapshot != nil || cfg.Timeline != nil) {
+		out, asJSON, onSnap, rec := cfg.MetricsOut, cfg.MetricsJSON, cfg.OnSnapshot, cfg.Timeline
+		sys.Monitor(every, func(sn pipeline.Snapshot) {
+			if rec != nil {
+				rec.Observe(0, sn)
+			}
 			if out != nil {
 				if asJSON {
 					fmt.Fprintln(out, sn.JSON())
@@ -250,6 +276,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		})
 	}
 	rep := sys.Run()
+	if cfg.Timeline != nil {
+		rep.Bottleneck = cfg.Timeline.Attribute(-1, 0, 0).Summary()
+	}
 
 	res := &Result{Pipeline: rep, Cancelled: rep.Cancelled}
 	for _, sr := range rep.Streams {

@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// fillRegistry populates a registry with one metric of every kind;
+// labelOrder controls the order the labeled counter's labels are first
+// touched in, which must not leak into the export.
+func fillRegistry(labelOrder []string) *Registry {
+	r := NewRegistry()
+	r.Counter("frames_ingested").Add(42)
+	r.Gauge("in_flight").Set(7)
+	lc := r.LabeledCounter("drops")
+	for _, l := range labelOrder {
+		lc.With(l).Add(int64(len(l)))
+	}
+	d := r.IntDist("batch_size")
+	d.Observe(4)
+	d.Observe(8)
+	h := r.Histogram("latency")
+	h.Observe(10 * time.Millisecond)
+	h.Observe(30 * time.Millisecond)
+	m := r.Meter("tyolo_fps", time.Second, 4)
+	m.Mark(time.Second, 30)
+	return r
+}
+
+// TestExportDeterministic is the regression test for the export
+// contract the /metrics byte-stability (and the timeline's tick
+// parsing) depend on: registration order is preserved, labeled
+// counters flatten in sorted label order regardless of touch order,
+// and a repeated Export is identical.
+func TestExportDeterministic(t *testing.T) {
+	a := fillRegistry([]string{"sdd", "snm", "tyolo"}).Export(2 * time.Second)
+	b := fillRegistry([]string{"tyolo", "sdd", "snm"}).Export(2 * time.Second)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("export depends on label touch order:\n%v\n%v", a, b)
+	}
+
+	r := fillRegistry([]string{"snm", "tyolo", "sdd"})
+	first := r.Export(2 * time.Second)
+	if again := r.Export(2 * time.Second); !reflect.DeepEqual(first, again) {
+		t.Fatalf("repeated export differs:\n%v\n%v", first, again)
+	}
+
+	// Registration order, not name order: frames_ingested registered
+	// first stays first even though "batch_size" sorts before it.
+	if first[0].Name != "frames_ingested" || first[0].Value != 42 {
+		t.Fatalf("registration order not preserved: %v", first[:2])
+	}
+	// Labeled counters flatten sorted.
+	var labels []string
+	for _, s := range first {
+		if len(s.Name) > 6 && s.Name[:6] == "drops{" {
+			labels = append(labels, s.Name)
+		}
+	}
+	want := []string{"drops{sdd}", "drops{snm}", "drops{tyolo}"}
+	if !reflect.DeepEqual(labels, want) {
+		t.Fatalf("labeled counter order = %v, want %v", labels, want)
+	}
+}

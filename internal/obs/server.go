@@ -22,12 +22,14 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"ffsva/internal/metrics"
 	"ffsva/internal/pipeline"
+	"ffsva/internal/timeline"
 	"ffsva/internal/trace"
 )
 
@@ -39,6 +41,7 @@ type Server struct {
 
 	mu    sync.Mutex
 	snaps map[int]pipeline.Snapshot
+	rec   *timeline.Recorder
 
 	ln  net.Listener
 	srv *http.Server
@@ -62,6 +65,20 @@ func (s *Server) Push(instance int, sn pipeline.Snapshot) {
 	s.mu.Unlock()
 }
 
+// SetTimeline attaches the flight recorder behind /timeline and
+// /bottleneck; until one is attached both endpoints answer 503.
+func (s *Server) SetTimeline(rec *timeline.Recorder) {
+	s.mu.Lock()
+	s.rec = rec
+	s.mu.Unlock()
+}
+
+func (s *Server) timeline() *timeline.Recorder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec
+}
+
 // Start binds the listener and serves in the background. A host-less
 // address like ":8080" binds 127.0.0.1 — exposing the endpoint beyond
 // the local machine takes an explicit interface address.
@@ -81,6 +98,8 @@ func (s *Server) Start() error {
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/tracez", s.handleTracez)
+	mux.HandleFunc("/timeline", s.handleTimeline)
+	mux.HandleFunc("/bottleneck", s.handleBottleneck)
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	s.wg.Add(1)
 	go func() {
@@ -140,69 +159,114 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><a href="/snapshot">/snapshot</a> — full pipeline snapshot JSON</li>
 <li><a href="/healthz">/healthz</a> — heartbeat-backed liveness</li>
 <li><a href="/tracez">/tracez</a> — recent sampled frame traces</li>
+<li><a href="/timeline">/timeline</a> — flight-recorder window (instance/from/to query params)</li>
+<li><a href="/bottleneck">/bottleneck</a> — ranked binding-constraint verdict with evidence</li>
 </ul></body></html>
 `)
 }
 
-// promName rewrites a registry sample name into valid Prometheus
-// exposition syntax. The registry flattens labeled counters to
+// promHelp carries the # HELP prose for the families we have prose for;
+// families without an entry emit # TYPE only.
+var promHelp = map[string]string{
+	"ffsva_frames_ingested_total": "Frames ingested across all streams.",
+	"ffsva_frames_disposed_total": "Frames leaving the cascade, by disposition label.",
+	"ffsva_frames_orphaned_total": "Frames missing a terminal disposition at drain.",
+	"ffsva_ref_canvases_total":    "Consolidated canvases submitted to the reference tier.",
+	"ffsva_faults_injected_total": "Faults injected by the fault plan.",
+	"ffsva_retries_total":         "Frame retries after recoverable decode faults.",
+	"ffsva_shed_frames_total":     "Frames shed by the overload bypass.",
+	"ffsva_tyolo_fps":             "T-YOLO decided-frame throughput in frames per second.",
+	"ffsva_in_flight":             "Frames ingested but not yet decided.",
+	"ffsva_live_streams":          "Streams still producing frames.",
+	"ffsva_worst_backlog":         "Deepest per-stream queue backlog.",
+	"ffsva_worst_lag_seconds":     "Largest per-stream decision lag in seconds.",
+	"ffsva_overloaded":            "1 while any stage queue sits at capacity.",
+	"ffsva_up":                    "0 once the instance has crashed.",
+}
+
+// promSeries rewrites a registry sample into Prometheus exposition
+// syntax: the family name ("ffsva_"-prefixed, "_total"-suffixed for
+// counters), the full series with instance and label keys, and the
+// exposition type. The registry flattens labeled counters to
 // "name{labelvalue}"; Prometheus needs a key, so the value is re-keyed
 // under "label".
-func promName(name string, instance int) string {
-	inst := fmt.Sprintf(`instance="%d"`, instance)
+func promSeries(sample metrics.Sample, instance int) (fam, series, kind string) {
+	name := sample.Name
+	label := ""
 	if i := strings.IndexByte(name, '{'); i >= 0 {
-		base := name[:i]
-		label := strings.TrimSuffix(name[i+1:], "}")
-		return fmt.Sprintf(`ffsva_%s{%s,label=%q}`, base, inst, label)
+		label = strings.TrimSuffix(name[i+1:], "}")
+		name = name[:i]
 	}
-	return fmt.Sprintf("ffsva_%s{%s}", name, inst)
+	kind = "gauge"
+	if sample.Kind == "counter" {
+		kind = "counter"
+		if !strings.HasSuffix(name, "_total") {
+			name += "_total"
+		}
+	}
+	fam = "ffsva_" + name
+	if label != "" {
+		series = fmt.Sprintf(`%s{instance="%d",label=%q}`, fam, instance, label)
+	} else {
+		series = fmt.Sprintf(`%s{instance="%d"}`, fam, instance)
+	}
+	return fam, series, kind
 }
 
-// promBase returns the metric family name of a sample.
-func promBase(name string) string {
-	if i := strings.IndexByte(name, '{'); i >= 0 {
-		return name[:i]
-	}
-	return name
-}
-
+// handleMetrics writes the Prometheus text exposition grouped by metric
+// family: one # HELP (where prose exists) and # TYPE line per family,
+// followed by every instance's series. Family order is first-seen over
+// sorted instance ids and the registry's registration order, so
+// identical pushed state scrapes byte-identically.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snaps, ids := s.snapshot()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	typed := map[string]bool{}
-	typeLine := func(sample metrics.Sample) {
-		base := "ffsva_" + promBase(sample.Name)
-		if typed[base] {
-			return
+
+	type family struct {
+		kind  string
+		lines []string
+	}
+	var order []string
+	fams := map[string]*family{}
+	add := func(fam, kind, line string) {
+		f := fams[fam]
+		if f == nil {
+			f = &family{kind: kind}
+			fams[fam] = f
+			order = append(order, fam)
 		}
-		typed[base] = true
-		kind := "gauge"
-		if sample.Kind == "counter" {
-			kind = "counter"
-		}
-		fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		f.lines = append(f.lines, line)
 	}
 	for _, id := range ids {
 		sn := snaps[id]
 		for _, sample := range sn.Metrics {
-			typeLine(sample)
-			fmt.Fprintf(w, "%s %g\n", promName(sample.Name, id), sample.Value)
+			fam, series, kind := promSeries(sample, id)
+			add(fam, kind, fmt.Sprintf("%s %g", series, sample.Value))
 		}
 		inst := fmt.Sprintf(`{instance="%d"}`, id)
-		fmt.Fprintf(w, "ffsva_in_flight%s %d\n", inst, sn.InFlight)
-		fmt.Fprintf(w, "ffsva_live_streams%s %d\n", inst, sn.LiveStreams)
-		fmt.Fprintf(w, "ffsva_worst_backlog%s %d\n", inst, sn.WorstBacklog)
-		fmt.Fprintf(w, "ffsva_worst_lag_seconds%s %g\n", inst, sn.WorstLag.Seconds())
-		overloaded := 0
+		overloaded, up := 0, 1
 		if sn.Overloaded {
 			overloaded = 1
 		}
-		fmt.Fprintf(w, "ffsva_overloaded%s %d\n", inst, overloaded)
-		up := 1
 		if sn.Crashed {
 			up = 0
 		}
-		fmt.Fprintf(w, "ffsva_up%s %d\n", inst, up)
+		add("ffsva_in_flight", "gauge", fmt.Sprintf("ffsva_in_flight%s %d", inst, sn.InFlight))
+		add("ffsva_live_streams", "gauge", fmt.Sprintf("ffsva_live_streams%s %d", inst, sn.LiveStreams))
+		add("ffsva_worst_backlog", "gauge", fmt.Sprintf("ffsva_worst_backlog%s %d", inst, sn.WorstBacklog))
+		add("ffsva_worst_lag_seconds", "gauge", fmt.Sprintf("ffsva_worst_lag_seconds%s %g", inst, sn.WorstLag.Seconds()))
+		add("ffsva_overloaded", "gauge", fmt.Sprintf("ffsva_overloaded%s %d", inst, overloaded))
+		add("ffsva_up", "gauge", fmt.Sprintf("ffsva_up%s %d", inst, up))
+	}
+	for _, fam := range order {
+		f := fams[fam]
+		if help, ok := promHelp[fam]; ok {
+			fmt.Fprintf(w, "# HELP %s %s\n", fam, help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", fam, f.kind)
+		for _, line := range f.lines {
+			fmt.Fprintln(w, line)
+		}
 	}
 }
 
@@ -260,6 +324,75 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleTracez(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	if err := s.tr.WriteTracez(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// parseWindow reads the shared /timeline and /bottleneck query
+// parameters: instance (default -1 = all), from and to (Go duration
+// strings, e.g. "1.5s"; to defaults to the newest tick).
+func parseWindow(r *http.Request) (instance int, from, to time.Duration, err error) {
+	instance = -1
+	q := r.URL.Query()
+	if v := q.Get("instance"); v != "" {
+		instance, err = strconv.Atoi(v)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("instance: %w", err)
+		}
+	}
+	if v := q.Get("from"); v != "" {
+		from, err = time.ParseDuration(v)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("from: %w", err)
+		}
+	}
+	if v := q.Get("to"); v != "" {
+		to, err = time.ParseDuration(v)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("to: %w", err)
+		}
+	}
+	return instance, from, to, nil
+}
+
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	rec := s.timeline()
+	if rec == nil {
+		http.Error(w, "timeline recorder not attached", http.StatusServiceUnavailable)
+		return
+	}
+	instance, from, to, err := parseWindow(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(rec.Window(instance, from, to)); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// bottleneckDoc is the /bottleneck response: the ranked verdict plus
+// its one-line rendering.
+type bottleneckDoc struct {
+	timeline.Verdict
+	Summary string `json:"summary"`
+}
+
+func (s *Server) handleBottleneck(w http.ResponseWriter, r *http.Request) {
+	rec := s.timeline()
+	if rec == nil {
+		http.Error(w, "timeline recorder not attached", http.StatusServiceUnavailable)
+		return
+	}
+	instance, from, to, err := parseWindow(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	v := rec.Attribute(instance, from, to)
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(bottleneckDoc{Verdict: v, Summary: v.Summary()}); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }

@@ -104,19 +104,24 @@ func TestHealthzTransitions(t *testing.T) {
 
 // TestMetricsExposition checks the Prometheus text rendering: registry
 // samples gain the ffsva_ prefix and instance label, flattened labels
-// are re-keyed, TYPE lines appear once per family, and the derived
-// control-signal gauges are present.
+// are re-keyed, counter families are _total-suffixed, HELP and TYPE
+// lines appear once per family, and the derived control-signal gauges
+// are present.
 func TestMetricsExposition(t *testing.T) {
 	s := startServer(t, nil)
 	s.Push(0, liveSnapshot(time.Second))
+	s.Push(1, liveSnapshot(2*time.Second))
 	code, body := get(t, s, "/metrics")
 	if code != http.StatusOK {
 		t.Fatalf("metrics status %d", code)
 	}
 	for _, want := range []string{
-		"# TYPE ffsva_frames_ingested counter",
-		`ffsva_frames_ingested{instance="0"} 42`,
-		`ffsva_drops{instance="0",label="sdd"} 5`,
+		"# HELP ffsva_frames_ingested_total Frames ingested across all streams.",
+		"# TYPE ffsva_frames_ingested_total counter",
+		`ffsva_frames_ingested_total{instance="0"} 42`,
+		"# TYPE ffsva_drops_total counter",
+		`ffsva_drops_total{instance="0",label="sdd"} 5`,
+		"# TYPE ffsva_in_flight gauge",
 		`ffsva_in_flight{instance="0"} 7`,
 		`ffsva_live_streams{instance="0"} 2`,
 		`ffsva_worst_backlog{instance="0"} 3`,
@@ -128,8 +133,20 @@ func TestMetricsExposition(t *testing.T) {
 			t.Fatalf("metrics missing %q:\n%s", want, body)
 		}
 	}
-	if strings.Count(body, "# TYPE ffsva_frames_ingested") != 1 {
+	// Family grouping: exactly one TYPE line per family even with two
+	// instances pushed, and both instances' series sit under it.
+	if strings.Count(body, "# TYPE ffsva_frames_ingested_total") != 1 {
 		t.Fatalf("duplicate TYPE lines:\n%s", body)
+	}
+	if !strings.Contains(body, `ffsva_frames_ingested_total{instance="1"} 42`) {
+		t.Fatalf("instance 1 series missing from family:\n%s", body)
+	}
+	// Counter hygiene: every counter TYPE names a _total family.
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") && strings.HasSuffix(line, " counter") &&
+			!strings.Contains(line, "_total ") {
+			t.Fatalf("counter family missing _total suffix: %q", line)
+		}
 	}
 }
 

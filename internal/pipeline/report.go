@@ -58,6 +58,11 @@ type Report struct {
 	// cascade order); nil when Config.Tracer is unset.
 	Spans []trace.StageStat
 
+	// Bottleneck is the timeline recorder's binding-constraint verdict
+	// for the run window, rendered as one line; empty when no recorder
+	// was attached. core.Run fills it in after the clock drains.
+	Bottleneck string
+
 	// StageProcessed counts frames entering each stage (prefetch, SDD,
 	// SNM, T-YOLO, reference), i.e. the data behind Fig. 5's
 	// per-filter execution ratios.
@@ -245,6 +250,9 @@ func (r *Report) String() string {
 				ss.Mean.Round(time.Microsecond), ss.P50.Round(time.Microsecond),
 				ss.P99.Round(time.Microsecond), ss.Total.Round(time.Microsecond))
 		}
+	}
+	if r.Bottleneck != "" {
+		fmt.Fprintf(&b, "  %s\n", r.Bottleneck)
 	}
 	fmt.Fprintf(&b, "  stage frames: ingest=%d sdd=%d snm=%d t-yolo=%d ref=%d\n",
 		r.StageProcessed[0], r.StageProcessed[1], r.StageProcessed[2], r.StageProcessed[3], r.StageProcessed[4])

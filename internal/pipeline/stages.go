@@ -254,7 +254,8 @@ func (s *System) prefetch(st *streamState) {
 		decStart := clk.Now()
 		lost := false
 		if fallible {
-			for tries := 0; fsrc.DecodeFails(); {
+			tries := 0
+			for fsrc.DecodeFails() {
 				s.faultCtr.Inc()
 				if s.cfg.ChargeCosts {
 					s.cpu.Use(device.ModelDecode, 1, s.cfg.Costs)
@@ -265,6 +266,12 @@ func (s *System) prefetch(st *streamState) {
 					break
 				}
 				s.retryCtr.Inc()
+			}
+			// One instant per faulted frame (not per attempt), so decode
+			// faults land on the timeline and arm flight-recorder dumps
+			// like every other fault class.
+			if tries > 0 {
+				s.cfg.Tracer.Instant(fmt.Sprintf("fault decode stream %d", st.spec.ID), "fault", s.cfg.Instance, clk.Now())
 			}
 		}
 		if !lost && s.cfg.ChargeCosts {

@@ -1,0 +1,374 @@
+package timeline
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ffsva/internal/pipeline"
+	"ffsva/internal/trace"
+)
+
+// Tier names, in cascade order. These are the attribution units: each
+// maps to a set of service span kinds, a set of wait span kinds, a
+// queue family, and the devices that serve it.
+const (
+	TierDecode    = "decode"
+	TierSDD       = "sdd"
+	TierSNM       = "snm"
+	TierTYolo     = "t-yolo"
+	TierReference = "reference"
+)
+
+// TierVerdict is one tier's USE classification over a window:
+// utilization (the tier's batch-normalized device time against its
+// devices' slot capacity), saturation (queue fill and the tier's wait
+// share of all recorded frame time), and errors (sheds, admission
+// rejects, fault losses, retries — filter rejections are decisions,
+// not errors, and are excluded).
+type TierVerdict struct {
+	Tier string `json:"tier"`
+	// Score is the weighted USE composite the ranking sorts by.
+	Score float64 `json:"score"`
+	// Utilization is the tier's service device-time over the window
+	// divided by its devices' slot-capacity, in [0, 1].
+	Utilization float64 `json:"utilization"`
+	// Device names the tier's devices; DeviceBusy is their snapshot
+	// busy-fraction delta over the window (corroborating evidence —
+	// T-YOLO and SNM share the filter GPUs, so this can exceed either
+	// tier's own Utilization).
+	Device     string  `json:"device"`
+	DeviceBusy float64 `json:"device_busy"`
+	// QueueFill is the mean depth/capacity of the tier's input queue
+	// across the window's ticks; QueueBlocked is the delta of blocked
+	// puts into it.
+	QueueFill    float64 `json:"queue_fill"`
+	QueueBlocked int64   `json:"queue_blocked"`
+	// WaitShare is the tier's wait time as a fraction of all span time
+	// recorded in the window.
+	WaitShare float64 `json:"wait_share"`
+	// Errors counts the window's sheds, admission rejects, fault
+	// losses, and retries charged to this tier.
+	Errors int64 `json:"errors"`
+}
+
+// Verdict is the /bottleneck response: every tier's classification,
+// ranked by score, and the binding constraint it implies.
+type Verdict struct {
+	Instance int           `json:"instance"`
+	From     time.Duration `json:"from"`
+	To       time.Duration `json:"to"`
+	Ticks    int           `json:"ticks"`
+	// Binding names the top-ranked tier, or "none" when the window is
+	// too small or too idle to support a verdict.
+	Binding string        `json:"binding"`
+	Tiers   []TierVerdict `json:"tiers,omitempty"`
+}
+
+// Score weights: utilization dominates (a saturated device is the
+// textbook binding constraint), queue fill and wait share split the
+// saturation evidence, and errors break near-ties toward the tier
+// that is visibly losing work.
+const (
+	wUtil  = 0.5
+	wQueue = 0.2
+	wWait  = 0.2
+	wErr   = 0.1
+)
+
+// bindingThreshold is the minimum top score for a verdict; below it the
+// window is idle and Binding is "none".
+const bindingThreshold = 0.05
+
+// tierSpec maps a tier to its span kinds, queue, and devices.
+type tierSpec struct {
+	name    string
+	service []trace.Kind
+	wait    []trace.Kind
+	queue   func(t *Tick) *QueueUse      // nil: no input queue
+	devices func(devs []DeviceUse) []int // indices into Tick.Devices
+}
+
+// cpuDevices selects the CPU; filterGPUDevices the filter GPUs (every
+// "gpu" device but the last — which is the dedicated reference GPU —
+// unless there is only one GPU, which then serves everything);
+// refGPUDevices the reference GPU.
+func cpuDevices(devs []DeviceUse) []int {
+	var out []int
+	for i, d := range devs {
+		if d.Kind == "cpu" {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func gpuDevices(devs []DeviceUse) []int {
+	var out []int
+	for i, d := range devs {
+		if d.Kind == "gpu" {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func filterGPUDevices(devs []DeviceUse) []int {
+	gpus := gpuDevices(devs)
+	if len(gpus) > 1 {
+		return gpus[:len(gpus)-1]
+	}
+	return gpus
+}
+
+func refGPUDevices(devs []DeviceUse) []int {
+	gpus := gpuDevices(devs)
+	if len(gpus) == 0 {
+		return nil
+	}
+	return gpus[len(gpus)-1:]
+}
+
+// numTiers sizes the per-tier accumulator arrays.
+const numTiers = 5
+
+// tierSpecs lists the tiers in cascade order; ranking ties resolve to
+// the earlier entry (stable sort), keeping the order deterministic.
+var tierSpecs = [numTiers]tierSpec{
+	{
+		name:    TierDecode,
+		service: []trace.Kind{trace.KDecode},
+		wait:    []trace.Kind{trace.KWaitSpill},
+		devices: cpuDevices,
+	},
+	{
+		name:    TierSDD,
+		service: []trace.Kind{trace.KSDD},
+		wait:    []trace.Kind{trace.KWaitSDD},
+		queue:   func(t *Tick) *QueueUse { return &t.SDDQ },
+		devices: cpuDevices,
+	},
+	{
+		name:    TierSNM,
+		service: []trace.Kind{trace.KSNMInfer},
+		wait:    []trace.Kind{trace.KWaitSNM, trace.KSNMAssemble},
+		queue:   func(t *Tick) *QueueUse { return &t.SNMQ },
+		devices: filterGPUDevices,
+	},
+	{
+		name:    TierTYolo,
+		service: []trace.Kind{trace.KTYoloInfer},
+		wait:    []trace.Kind{trace.KWaitTYolo},
+		queue:   func(t *Tick) *QueueUse { return &t.TYQ },
+		devices: filterGPUDevices,
+	},
+	{
+		name:    TierReference,
+		service: []trace.Kind{trace.KPack, trace.KRef, trace.KUnpack},
+		wait:    []trace.Kind{trace.KWaitRef},
+		queue:   func(t *Tick) *QueueUse { return &t.RefQ },
+		devices: refGPUDevices,
+	},
+}
+
+// instanceWindow is one instance's first and last tick in the window
+// plus the per-tick queue-fill accumulation.
+type instanceWindow struct {
+	first, last Tick
+	count       int
+	fill        [numTiers]float64 // summed depth/cap per tier
+	fillTicks   [numTiers]int
+}
+
+// Attribute classifies every tier over the window [from, to] for one
+// instance (or every instance when instance < 0) and ranks them into a
+// binding-constraint verdict. All cumulative signals are differenced
+// between each instance's first and last tick in the window, so the
+// verdict describes the window, not the run since boot.
+func (r *Recorder) Attribute(instance int, from, to time.Duration) Verdict {
+	ticks := r.Query(instance, from, to)
+	v := Verdict{Instance: instance, From: from, To: to, Ticks: len(ticks), Binding: "none"}
+
+	// Group by instance: cumulative fields only difference cleanly
+	// within one instance's tick stream.
+	wins := map[int]*instanceWindow{}
+	var order []int
+	for _, t := range ticks {
+		iw := wins[t.Instance]
+		if iw == nil {
+			iw = &instanceWindow{first: t}
+			wins[t.Instance] = iw
+			order = append(order, t.Instance)
+		}
+		iw.last = t
+		iw.count++
+		for si, spec := range tierSpecs {
+			if spec.queue == nil {
+				continue
+			}
+			q := spec.queue(&t)
+			if q.Cap > 0 {
+				iw.fill[si] += float64(q.Depth) / float64(q.Cap)
+				iw.fillTicks[si]++
+			}
+		}
+	}
+
+	// Windowed deltas, summed across instances.
+	var (
+		span      time.Duration // max per-instance At delta
+		slotTime  [numTiers]time.Duration
+		busy      [numTiers]time.Duration
+		devBusy   [numTiers]time.Duration
+		wait      [numTiers]time.Duration
+		blocked   [numTiers]int64
+		fill      [numTiers]float64
+		fillTicks [numTiers]int
+		allSpan   time.Duration // total recorded span time, all kinds
+		errs      int64
+		ingested  int64
+	)
+	devNames := map[int]map[string]bool{}
+	for _, inst := range order {
+		iw := wins[inst]
+		if iw.count < 2 {
+			continue
+		}
+		dt := iw.last.At - iw.first.At
+		if dt <= 0 {
+			continue
+		}
+		if dt > span {
+			span = dt
+		}
+		for k := 0; k < trace.NumKinds; k++ {
+			allSpan += iw.last.Stages[k].Total - iw.first.Stages[k].Total
+		}
+		errs += (iw.last.Retries - iw.first.Retries) +
+			(iw.last.ShedFrames - iw.first.ShedFrames) +
+			(iw.last.Drops[pipeline.DropError] - iw.first.Drops[pipeline.DropError]) +
+			(iw.last.Drops[pipeline.DropAdmission] - iw.first.Drops[pipeline.DropAdmission])
+		ingested += iw.last.Ingested - iw.first.Ingested
+
+		// Device busy deltas are matched by name between the window's
+		// endpoint ticks (device order is stable within an instance).
+		firstBusy := map[string]time.Duration{}
+		for _, d := range iw.first.Devices {
+			firstBusy[d.Name] = d.Busy
+		}
+		for si, spec := range tierSpecs {
+			for _, k := range spec.service {
+				busy[si] += iw.last.Stages[k].Busy - iw.first.Stages[k].Busy
+			}
+			for _, k := range spec.wait {
+				wait[si] += iw.last.Stages[k].Total - iw.first.Stages[k].Total
+			}
+			for _, di := range spec.devices(iw.last.Devices) {
+				d := iw.last.Devices[di]
+				slotTime[si] += time.Duration(d.Slots) * dt
+				devBusy[si] += d.Busy - firstBusy[d.Name]
+				if devNames[si] == nil {
+					devNames[si] = map[string]bool{}
+				}
+				devNames[si][d.Name] = true
+			}
+			if spec.queue != nil {
+				blocked[si] += (spec.queue(&iw.last).Blocked - spec.queue(&iw.first).Blocked)
+			}
+			fill[si] += iw.fill[si]
+			fillTicks[si] += iw.fillTicks[si]
+		}
+	}
+	if span <= 0 {
+		return v // fewer than two ticks anywhere: no window, no verdict
+	}
+
+	clamp := func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		if x > 1 {
+			return 1
+		}
+		return x
+	}
+	for si, spec := range tierSpecs {
+		tv := TierVerdict{Tier: spec.name, Errors: errs0(si, errs)}
+		if slotTime[si] > 0 {
+			tv.Utilization = clamp(float64(busy[si]) / float64(slotTime[si]))
+			tv.DeviceBusy = clamp(float64(devBusy[si]) / float64(slotTime[si]))
+			if allSpan == 0 {
+				// No tracer was bound, so per-tier span loads are absent;
+				// fall back to the snapshot's device accounting. Tiers
+				// sharing a device then share its utilization (the filter
+				// GPUs serve both SNM and T-YOLO) and the queue and error
+				// evidence separates them.
+				tv.Utilization = tv.DeviceBusy
+			}
+		}
+		tv.Device = joinNames(devNames[si])
+		if fillTicks[si] > 0 {
+			tv.QueueFill = clamp(fill[si] / float64(fillTicks[si]))
+		}
+		tv.QueueBlocked = blocked[si]
+		if allSpan > 0 {
+			tv.WaitShare = clamp(float64(wait[si]) / float64(allSpan))
+		}
+		errTerm := 0.0
+		if tv.Errors > 0 {
+			errTerm = clamp(float64(tv.Errors) / float64(max64(ingested, 1)))
+		}
+		tv.Score = wUtil*tv.Utilization + wQueue*tv.QueueFill + wWait*tv.WaitShare + wErr*errTerm
+		v.Tiers = append(v.Tiers, tv)
+	}
+	sort.SliceStable(v.Tiers, func(i, j int) bool { return v.Tiers[i].Score > v.Tiers[j].Score })
+	if v.Tiers[0].Score >= bindingThreshold {
+		v.Binding = v.Tiers[0].Tier
+	}
+	return v
+}
+
+// errs0 charges the error tally to the decode tier: sheds, admission
+// rejects, and fault losses all manifest at or before ingest, and
+// retries restart the frame from decode.
+func errs0(si int, errs int64) int64 {
+	if tierSpecs[si].name == TierDecode {
+		return errs
+	}
+	return 0
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func joinNames(set map[string]bool) string {
+	if len(set) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := names[0]
+	for _, n := range names[1:] {
+		out += "+" + n
+	}
+	return out
+}
+
+// Summary renders the verdict as the one-line annotation the Report's
+// wait-vs-service table carries.
+func (v Verdict) Summary() string {
+	if v.Binding == "none" || len(v.Tiers) == 0 {
+		return "binding constraint: none (window too small or idle)"
+	}
+	t := v.Tiers[0]
+	return fmt.Sprintf(
+		"binding constraint: %s (score %.2f: util %.2f on %s, queue %.0f%% full, wait-share %.2f)",
+		t.Tier, t.Score, t.Utilization, t.Device, t.QueueFill*100, t.WaitShare)
+}

@@ -91,6 +91,35 @@ type tevInstant struct {
 	S    string  `json:"s"`
 }
 
+type tevCounterArgs struct {
+	Value float64 `json:"value"`
+}
+
+type tevCounter struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args tevCounterArgs `json:"args"`
+}
+
+// sortCounters orders counter points deterministically; callers pass a
+// copy.
+func sortCounters(pts []CounterPoint) {
+	sort.Slice(pts, func(i, j int) bool {
+		a, b := pts[i], pts[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Instance != b.Instance {
+			return a.Instance < b.Instance
+		}
+		return a.Name < b.Name
+	})
+}
+
 // WriteTraceEvents renders the retained traces as Chrome trace-event
 // JSON (the "JSON Array Format" Perfetto and chrome://tracing load):
 // one process per instance, one thread per stage/device track, "X"
@@ -125,6 +154,9 @@ func (tr *Tracer) WriteTraceEvents(w io.Writer) error {
 	}
 	for _, in := range tr.instants {
 		pidSet[in.Instance] = true
+	}
+	for _, cp := range tr.counters {
+		pidSet[cp.Instance] = true
 	}
 	var pids []int
 	for pid := range pidSet {
@@ -196,6 +228,17 @@ func (tr *Tracer) WriteTraceEvents(w io.Writer) error {
 			Ts: us(in.At), Pid: in.Instance, Tid: 0, S: "p",
 		})
 	}
+	// Counter tracks ("C" events) render one line chart per name per
+	// process: queue depths and busy fractions alongside the span trees.
+	counters := append([]CounterPoint(nil), tr.counters...)
+	sortCounters(counters)
+	for _, cp := range counters {
+		events = append(events, tevCounter{
+			Name: cp.Name, Cat: "timeline", Ph: "C",
+			Ts: us(cp.At), Pid: cp.Instance, Tid: 0,
+			Args: tevCounterArgs{Value: cp.Value},
+		})
+	}
 
 	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
 		return err
@@ -250,6 +293,14 @@ type jlInstant struct {
 	AtUS     float64 `json:"at_us"`
 }
 
+type jlCounter struct {
+	Type     string  `json:"type"`
+	Name     string  `json:"name"`
+	Instance int     `json:"instance"`
+	AtUS     float64 `json:"at_us"`
+	Value    float64 `json:"value"`
+}
+
 // WriteJSONL renders the retained traces as a structured JSONL event
 // log: one "frame" line per retained frame (spans inline) and one
 // "instant" line per point event, in the same deterministic order as
@@ -301,14 +352,24 @@ func (tr *Tracer) WriteJSONL(w io.Writer) error {
 			return err
 		}
 	}
+	counters := append([]CounterPoint(nil), tr.counters...)
+	sortCounters(counters)
+	for _, cp := range counters {
+		if err := enc.Encode(jlCounter{
+			Type: "counter", Name: cp.Name,
+			Instance: cp.Instance, AtUS: us(cp.At), Value: cp.Value,
+		}); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 // Validate checks data against the trace-event schema subset this
 // package emits: a traceEvents array whose members are "X" complete
 // events (name, non-negative ts and dur, pid/tid), "i" instants
-// (name, ts), or "M" metadata records. It is the stdlib checker behind
-// `make trace-smoke`.
+// (name, ts), "C" counter samples (name, ts, pid), or "M" metadata
+// records. It is the stdlib checker behind `make trace-smoke`.
 func Validate(data []byte) error {
 	var doc struct {
 		TraceEvents []json.RawMessage `json:"traceEvents"`
@@ -353,6 +414,13 @@ func Validate(data []byte) error {
 		case "i":
 			if ev.Ts == nil || *ev.Ts < 0 {
 				return fmt.Errorf("trace: event %d (%s): instant needs ts >= 0", i, ev.Name)
+			}
+		case "C":
+			if ev.Ts == nil || *ev.Ts < 0 {
+				return fmt.Errorf("trace: event %d (%s): counter needs ts >= 0", i, ev.Name)
+			}
+			if ev.Pid == nil {
+				return fmt.Errorf("trace: event %d (%s): counter needs pid", i, ev.Name)
 			}
 		case "M":
 			if ev.Name != "process_name" && ev.Name != "thread_name" {

@@ -225,6 +225,9 @@ type Options struct {
 	ErrRing int
 	// MaxInstants bounds the instant-event log (default 4096).
 	MaxInstants int
+	// MaxCounters bounds the counter-track sample log (default 32768;
+	// the timeline recorder pushes a handful of points per tick).
+	MaxCounters int
 }
 
 func (o *Options) fill() {
@@ -245,6 +248,9 @@ func (o *Options) fill() {
 	}
 	if o.MaxInstants == 0 {
 		o.MaxInstants = 4096
+	}
+	if o.MaxCounters == 0 {
+		o.MaxCounters = 32768
 	}
 }
 
@@ -278,15 +284,23 @@ type Tracer struct {
 	errNext  int
 	instants []Instant
 	instDrop int64
+	counters []CounterPoint
+	ctrDrop  int64
+
+	// onInstant, when set, observes every Instant as it is recorded
+	// (called outside tr.mu) — the timeline recorder's event intake.
+	onInstant func(Instant)
 
 	// global (-1) and per-instance span-duration histograms.
 	hists map[int]*kindHists
+	// global (-1) and per-instance cumulative span loads.
+	loads map[int]*[NumKinds]KindLoad
 }
 
 // New creates an enabled Tracer.
 func New(opt Options) *Tracer {
 	opt.fill()
-	tr := &Tracer{opt: opt, hists: map[int]*kindHists{}}
+	tr := &Tracer{opt: opt, hists: map[int]*kindHists{}, loads: map[int]*[NumKinds]KindLoad{}}
 	tr.pool.New = func() any { return new(FrameTrace) }
 	return tr
 }
@@ -323,12 +337,69 @@ func (tr *Tracer) Finish(ft *FrameTrace, disposition string, failed bool, now ti
 	tr.finished++
 	global := tr.histsFor(-1)
 	inst := tr.histsFor(ft.Instance)
+	gload := tr.loadsFor(-1)
+	iload := tr.loadsFor(ft.Instance)
 	for _, sp := range ft.Spans {
 		d := sp.End - sp.Start
 		global[sp.Kind].Observe(d)
 		inst[sp.Kind].Observe(d)
+		// Busy divides a batched span's interval by its batch size: the
+		// batched stages stamp the whole batch interval onto every
+		// member, so the raw total overcounts device time by the batch
+		// factor. The normalized figure is the stage's true device-time
+		// charge — the utilization numerator bottleneck attribution needs.
+		busy := d
+		if sp.Batch > 1 {
+			busy = d / time.Duration(sp.Batch)
+		}
+		for _, ld := range []*[NumKinds]KindLoad{gload, iload} {
+			ld[sp.Kind].Count++
+			ld[sp.Kind].Total += d
+			ld[sp.Kind].Busy += busy
+		}
 	}
 	tr.retain(ft)
+}
+
+// KindLoad is one span kind's cumulative account: span count, summed
+// span time (a frame-latency share: batch members each contribute the
+// whole batch interval), and Busy, the batch-normalized device-time
+// charge.
+type KindLoad struct {
+	Count int64         `json:"count"`
+	Total time.Duration `json:"total"`
+	Busy  time.Duration `json:"busy"`
+}
+
+// KindLoads returns the cumulative per-kind span loads for an instance
+// (instance < 0 aggregates all). Cheap enough to sample every tick —
+// unlike Decomposition it computes no quantiles. Zero value on a nil
+// tracer.
+func (tr *Tracer) KindLoads(instance int) [NumKinds]KindLoad {
+	var out [NumKinds]KindLoad
+	if tr == nil {
+		return out
+	}
+	if instance < 0 {
+		instance = -1
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if ld := tr.loads[instance]; ld != nil {
+		out = *ld
+	}
+	return out
+}
+
+// loadsFor returns (creating if needed) the load array for an instance;
+// callers hold tr.mu.
+func (tr *Tracer) loadsFor(instance int) *[NumKinds]KindLoad {
+	ld := tr.loads[instance]
+	if ld == nil {
+		ld = new([NumKinds]KindLoad)
+		tr.loads[instance] = ld
+	}
+	return ld
 }
 
 // histsFor returns (creating if needed) the histogram set for an
@@ -408,11 +479,57 @@ func (tr *Tracer) Instant(name, cat string, instance int, at time.Duration) {
 	if tr == nil {
 		return
 	}
+	in := Instant{Name: name, Cat: cat, Instance: instance, At: at}
 	tr.mu.Lock()
 	if len(tr.instants) < tr.opt.MaxInstants {
-		tr.instants = append(tr.instants, Instant{Name: name, Cat: cat, Instance: instance, At: at})
+		tr.instants = append(tr.instants, in)
 	} else {
 		tr.instDrop++
+	}
+	hook := tr.onInstant
+	tr.mu.Unlock()
+	// The hook runs outside tr.mu (it may take its own locks) and sees
+	// every instant, including ones the bounded log dropped — a dump
+	// trigger must not vanish because the log filled.
+	if hook != nil {
+		hook(in)
+	}
+}
+
+// SetOnInstant registers an observer for every subsequently recorded
+// Instant. The hook is called outside the tracer's lock and must not
+// call back into methods that record instants. One observer at a time;
+// nil unregisters.
+func (tr *Tracer) SetOnInstant(fn func(Instant)) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.onInstant = fn
+	tr.mu.Unlock()
+}
+
+// CounterPoint is one sample on a named counter track: queue depth,
+// busy fraction, backlog — the timeline signals the Perfetto export
+// renders alongside the span trees.
+type CounterPoint struct {
+	Name     string
+	Instance int
+	At       time.Duration
+	Value    float64
+}
+
+// Counter records one counter-track sample. The log is bounded by
+// Options.MaxCounters; overflow is counted, not kept.
+func (tr *Tracer) Counter(name string, instance int, at time.Duration, value float64) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	if len(tr.counters) < tr.opt.MaxCounters {
+		tr.counters = append(tr.counters, CounterPoint{Name: name, Instance: instance, At: at, Value: value})
+	} else {
+		tr.ctrDrop++
 	}
 	tr.mu.Unlock()
 }
